@@ -1,0 +1,52 @@
+"""§III headline — average per-serving calorie error (paper: 36.42 kcal).
+
+The paper selects recipes with 100% ingredient mapping and clean
+servings (2,482 of their corpus) and compares estimated per-serving
+calories against AllRecipes' third-party labels, reporting a 36.42
+kcal mean absolute error — "well within our scope of error since some
+calorie content would differ based on the user, cooking time and
+utensils", anchored by 1 tsp butter = 35 kcal.
+
+Here the gold labels are ground-truth calories plus the physical-
+variation noise the generator injects; the same selection filter
+applies, and the shape expectation is a mean error in the tens of
+kcal, small relative to mean per-serving calories.
+"""
+
+from __future__ import annotations
+
+from conftest import write_result
+
+from repro.eval.gold import select_evaluation_recipes
+from repro.eval.metrics import calorie_error_report
+
+
+def test_calorie_error(benchmark, corpus, corpus_estimates):
+    pairs = select_evaluation_recipes(corpus, corpus_estimates)
+    report, errors = calorie_error_report(pairs)
+
+    butter_tsp_kcal = 35.0  # the paper's §III yardstick
+    within = sum(1 for e in errors if e <= butter_tsp_kcal) / len(errors)
+    lines = [
+        f"evaluation recipes (100% mapped, clean servings): "
+        f"{report.n_recipes} of {len(corpus)} (paper: 2,482 of ~118k)",
+        f"mean |error| per serving:   {report.mean_abs_error:.2f} kcal "
+        "(paper: 36.42)",
+        f"median |error| per serving: {report.median_abs_error:.2f} kcal",
+        f"90th percentile |error|:    {report.p90_abs_error:.2f} kcal",
+        f"mean signed error:          {report.mean_signed_error:+.2f} kcal",
+        f"mean gold calories/serving: {report.mean_gold_calories:.1f} kcal",
+        f"share of recipes within one teaspoon of butter (35 kcal): "
+        f"{100 * within:.1f}%",
+    ]
+    write_result("calorie_error.txt", "\n".join(lines))
+
+    # Shape: error well below typical per-serving calories, and the
+    # butter-teaspoon yardstick holds for a clear majority.
+    assert report.n_recipes >= 100
+    assert report.mean_abs_error < 0.25 * report.mean_gold_calories
+    assert within > 0.5
+
+    sample = pairs[:400]
+    result = benchmark(lambda: calorie_error_report(sample))
+    assert result[0].n_recipes == len(sample)

@@ -1,0 +1,44 @@
+"""§III results — ingredient match rate and match accuracy.
+
+* Paper: "we were able to match 94.49% of the unique ingredients from
+  the recipes, with the rest remaining unmapped" — the unmapped residue
+  is driven by region-specific ingredients absent from USDA-SR
+  ("garam masala").
+* Paper: the 5,000 most frequent ingredient+state pairs were manually
+  audited; 71.6% were the best available match, and the rest were
+  still "one of the suitable matches".  Ground truth replaces the
+  audit: exact accuracy counts matches to the generator's true food,
+  suitable accuracy accepts same-leading-term foods.
+"""
+
+from __future__ import annotations
+
+from conftest import write_result
+
+from repro.eval.metrics import match_accuracy, unique_ingredient_match_rate
+
+
+def test_match_rate_and_accuracy(benchmark, corpus, corpus_estimates):
+    matched, total, rate = unique_ingredient_match_rate(corpus_estimates)
+    accuracy = match_accuracy(corpus, corpus_estimates, top_n=5000)
+
+    lines = [
+        f"unique ingredient match rate: {matched}/{total} = {100 * rate:.2f}% "
+        "(paper: 94.49%)",
+        f"match accuracy on the {accuracy.n_pairs} most frequent "
+        "ingredient+state pairs (vs ground truth; paper audited 5,000 "
+        "pairs at 71.6%):",
+        f"  exact-food accuracy:    {100 * accuracy.exact_accuracy:.1f}%",
+        f"  suitable-match accuracy: {100 * accuracy.suitable_accuracy:.1f}%",
+    ]
+    write_result("match_rate.txt", "\n".join(lines))
+
+    # Shape: high-but-not-total match rate (the unmappable residue is
+    # by design), and suitable >= exact with exact in the paper's band.
+    assert 0.85 <= rate < 1.0, rate
+    assert accuracy.suitable_accuracy >= accuracy.exact_accuracy
+    assert accuracy.exact_accuracy >= 0.55, accuracy.exact_accuracy
+
+    sample = corpus_estimates[:600]
+    result = benchmark(lambda: unique_ingredient_match_rate(sample))
+    assert result[1] > 0

@@ -1,0 +1,41 @@
+"""Table I — NER tag extraction on the Piroszhki ingredient phrases.
+
+Regenerates the paper's Table I by running the pipeline's parser on
+the twelve phrases verbatim, checks the extracted entities against the
+paper's columns, and benchmarks extraction throughput.
+"""
+
+from __future__ import annotations
+
+from conftest import write_result
+
+from repro.eval.tables import render_table_i
+from repro.recipedb.phrases import PIROSZHKI_PHRASES, PIROSZHKI_TABLE_I
+
+
+def test_table_i(benchmark, estimator):
+    table = render_table_i(estimator)
+    write_result("table_i_ner.txt", table)
+
+    # Key Table-I fields must reproduce.
+    expectations = {
+        "1/2 lb lean ground beef": ("beef", "1/2", "lb"),
+        "1 tablespoon fresh dill weed": ("dill weed", "1", "tablespoon"),
+        "1 teaspoon salt": ("salt", "1", "teaspoon"),
+        "1 egg yolk": ("egg yolk", "1", ""),
+        "1 tablespoon cold water": ("cold water", "1", "tablespoon"),
+    }
+    for phrase, (name, quantity, unit) in expectations.items():
+        parsed = estimator.parse(phrase)
+        got_name = parsed.name
+        if parsed.temperature:  # Table I shows "cold water" as the name
+            got_name = f"{parsed.temperature} {parsed.name}"
+        assert quantity == parsed.quantity, (phrase, parsed.quantity)
+        assert unit == parsed.unit, (phrase, parsed.unit)
+        assert name.split()[-1] in got_name, (phrase, got_name)
+
+    def extract_all():
+        return [estimator.parse(p) for p in PIROSZHKI_PHRASES]
+
+    results = benchmark(extract_all)
+    assert len(results) == len(PIROSZHKI_TABLE_I)

@@ -1,0 +1,45 @@
+"""Table IV — ingredient and unit relations (Butter, salted).
+
+Regenerates the paper's Table IV slice of SR's WEIGHT table, checks
+the exact gram weights the paper prints, and demonstrates/benchmarks
+the volume-derivation that adds the missing teaspoon ("1 teaspoon of
+it is equivalent to 35 calories" — §III uses this very number as its
+error yardstick).
+"""
+
+from __future__ import annotations
+
+from conftest import write_result
+
+from repro.eval.tables import render_table_iv
+from repro.units.gram_weights import UnitResolver
+from repro.usda.database import load_default_database
+
+
+def test_table_iv(benchmark):
+    db = load_default_database()
+    table = render_table_iv(db)
+    write_result("table_iv_units.txt", table)
+
+    butter = db.get("01001")
+    by_unit = {p.unit: p for p in butter.portions}
+    assert by_unit['pat (1" sq, 1/3" high)'].grams == 5.0
+    assert by_unit["tbsp"].grams == 14.2
+    assert by_unit["cup"].grams == 227.0
+    assert by_unit["stick"].grams == 113.0
+
+    resolver = UnitResolver(butter)
+    teaspoon = resolver.resolve("teaspoon")
+    assert teaspoon is not None and teaspoon.method == "volume-derived"
+    kcal_per_tsp = teaspoon.grams_per_unit * butter.energy_kcal / 100.0
+    # Paper §III: "1 teaspoon of it is equivalent to 35 calories".
+    assert 30.0 <= kcal_per_tsp <= 40.0, kcal_per_tsp
+
+    units = ["teaspoon", "tablespoon", "cup", "stick", "pat", "ounce",
+             "pound", "gram", "pint", "dash"]
+
+    def resolve_all():
+        return [resolver.resolve(u) for u in units]
+
+    resolutions = benchmark(resolve_all)
+    assert all(r is not None for r in resolutions)

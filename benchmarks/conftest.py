@@ -1,0 +1,59 @@
+"""Shared fixtures for the benchmark harness.
+
+Expensive artifacts (corpus, estimates, trained tagger) are built once
+per session.  Every benchmark writes its reproduced table/figure to
+``results/`` so the artifacts survive pytest's output capture.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro import NutritionEstimator, RecipeGenerator
+from repro.ner import AveragedPerceptronTagger
+
+#: Corpus scale; override with REPRO_BENCH_RECIPES for bigger runs.
+N_RECIPES = int(os.environ.get("REPRO_BENCH_RECIPES", "1200"))
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+def write_result(name: str, content: str) -> Path:
+    """Persist a reproduced artifact under results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / name
+    path.write_text(content + "\n", encoding="utf-8")
+    return path
+
+
+@pytest.fixture(scope="session")
+def generator() -> RecipeGenerator:
+    return RecipeGenerator()
+
+
+@pytest.fixture(scope="session")
+def corpus(generator):
+    return generator.generate(N_RECIPES)
+
+
+@pytest.fixture(scope="session")
+def trained_tagger(generator) -> AveragedPerceptronTagger:
+    """Perceptron trained on a generated annotation corpus."""
+    phrases = [item.tagged for item in generator.generate_phrases(3000)]
+    tagger = AveragedPerceptronTagger()
+    tagger.train(phrases, epochs=5)
+    return tagger
+
+
+@pytest.fixture(scope="session")
+def estimator(trained_tagger) -> NutritionEstimator:
+    """Pipeline with the trained NER tagger (the paper's configuration)."""
+    return NutritionEstimator(tagger=trained_tagger)
+
+
+@pytest.fixture(scope="session")
+def corpus_estimates(estimator, corpus):
+    return estimator.estimate_corpus(corpus)

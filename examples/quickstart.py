@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Quickstart: estimate the nutritional profile of one recipe.
+
+Runs the full pipeline — NER extraction, modified-Jaccard description
+matching against the USDA-SR subset, unit resolution — on the paper's
+running example, the Piroszhki (Little Russian Pastries) recipe from
+Table I, and prints a per-ingredient breakdown plus the per-serving
+profile.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from repro import NutritionEstimator
+from repro.recipedb import PIROSZHKI_PHRASES
+
+
+def main() -> None:
+    estimator = NutritionEstimator()
+    recipe = estimator.estimate_recipe(list(PIROSZHKI_PHRASES), servings=6)
+
+    print("Piroszhki (Little Russian Pastries) — serves 6\n")
+    header = f"{'ingredient phrase':44} {'grams':>8} {'kcal':>8}  matched description"
+    print(header)
+    print("-" * len(header))
+    for item in recipe.ingredients:
+        description = item.match.description if item.match else "(unmatched)"
+        print(
+            f"{item.parsed.text[:42]:44} {item.grams:8.1f} "
+            f"{item.calories:8.1f}  {description[:50]}"
+        )
+
+    print("\nPer-serving profile:")
+    for nutrient, value in recipe.per_serving.rounded().items():
+        print(f"  {nutrient:18} {value:10.2f}")
+
+    print(
+        f"\nCoverage: {recipe.fraction_fully_mapped:.0%} of ingredient "
+        "lines fully mapped (name + unit)."
+    )
+
+
+if __name__ == "__main__":
+    main()

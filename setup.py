@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The offline environment ships setuptools without the ``wheel`` package,
+so PEP 517 editable installs (which build a wheel) fail.  This shim plus
+the absence of a ``[build-system]`` table lets ``pip install -e .`` use
+the legacy ``setup.py develop`` path.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,49 @@
+"""repro — Nutritional Profile Estimation in Cooking Recipes.
+
+A from-scratch reproduction of Kalra, Batra, Diwan & Bagler,
+"Nutritional Profile Estimation in Cooking Recipes" (ICDE 2020),
+including every substrate the paper depends on: a USDA-SR nutrient
+database, an NER subsystem (CRF + averaged perceptron), the modified-
+Jaccard description matcher, the unit-matching machinery, and a
+RecipeDB-style corpus generator with exact ground truth.
+
+Quickstart::
+
+    from repro import NutritionEstimator
+
+    estimator = NutritionEstimator()
+    recipe = estimator.estimate_recipe(
+        ["2 cups all-purpose flour", "1 teaspoon salt",
+         "3/4 cup butter , softened"],
+        servings=6,
+    )
+    print(round(recipe.per_serving.calories), "kcal per serving")
+"""
+
+from repro.core.estimator import (
+    IngredientEstimate,
+    NutritionEstimator,
+    ParsedIngredient,
+    RecipeEstimate,
+)
+from repro.core.profile import NutritionalProfile
+from repro.matching.matcher import DescriptionMatcher, MatcherConfig
+from repro.recipedb.generator import GeneratorConfig, RecipeGenerator
+from repro.usda.database import NutrientDatabase, load_default_database
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "IngredientEstimate",
+    "NutritionEstimator",
+    "ParsedIngredient",
+    "RecipeEstimate",
+    "NutritionalProfile",
+    "DescriptionMatcher",
+    "MatcherConfig",
+    "GeneratorConfig",
+    "RecipeGenerator",
+    "NutrientDatabase",
+    "load_default_database",
+    "__version__",
+]

@@ -1,0 +1,142 @@
+"""Command-line interface.
+
+Subcommands::
+
+    python -m repro estimate --servings 4 "2 cups flour" "1 tsp salt"
+    python -m repro parse "1 small onion , finely chopped"
+    python -m repro match "red lentils" --state rinsed --explain
+    python -m repro generate --recipes 5 --out corpus.jsonl
+    python -m repro tables
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.estimator import NutritionEstimator
+from repro.matching.explain import explain_match
+from repro.recipedb.corpus import save_recipes_jsonl
+from repro.recipedb.generator import GeneratorConfig, RecipeGenerator
+from repro.eval.tables import (
+    render_table_i,
+    render_table_ii,
+    render_table_iii,
+    render_table_iv,
+)
+
+
+def _cmd_estimate(args: argparse.Namespace) -> int:
+    estimator = NutritionEstimator()
+    recipe = estimator.estimate_recipe(args.phrases, servings=args.servings)
+    for item in recipe.ingredients:
+        description = item.match.description if item.match else "(unmatched)"
+        print(f"{item.parsed.text[:46]:48} {item.grams:8.1f} g "
+              f"{item.calories:8.1f} kcal  {description[:44]}")
+    print()
+    for key, value in recipe.per_serving.rounded().items():
+        print(f"{key:18} {value:10.2f} per serving")
+    return 0
+
+
+def _cmd_parse(args: argparse.Namespace) -> int:
+    estimator = NutritionEstimator()
+    for phrase in args.phrases:
+        parsed = estimator.parse(phrase)
+        print(phrase)
+        for token, tag in zip(parsed.tokens, parsed.tags):
+            print(f"  {token:20} {tag}")
+        print(f"  -> name={parsed.name!r} state={parsed.state!r} "
+              f"qty={parsed.quantity!r} unit={parsed.unit!r} "
+              f"temp={parsed.temperature!r} df={parsed.dry_fresh!r} "
+              f"size={parsed.size!r}")
+    return 0
+
+
+def _cmd_match(args: argparse.Namespace) -> int:
+    estimator = NutritionEstimator()
+    if args.explain:
+        explanation = explain_match(
+            estimator.matcher, args.name, args.state, k=args.top)
+        print(explanation.render())
+        return 0 if explanation.winner else 1
+    result = estimator.matcher.match(args.name, args.state)
+    if result is None:
+        print("UNMATCHED")
+        return 1
+    print(f"{result.description}  (score {result.score:.3f}, "
+          f"NDB {result.food.ndb_no})")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    generator = RecipeGenerator(config=GeneratorConfig(seed=args.seed))
+    recipes = generator.generate(args.recipes)
+    if args.out:
+        save_recipes_jsonl(recipes, args.out)
+        print(f"wrote {len(recipes)} recipes to {args.out}")
+    else:
+        for recipe in recipes:
+            print(f"# {recipe.title} (serves {recipe.servings})")
+            for item in recipe.ingredients:
+                print(f"  {item.text}")
+    return 0
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    for title, render in (
+        ("Table I — NER tag extraction", render_table_i),
+        ("Table II — USDA-SR description examples", render_table_ii),
+        ("Table III — modified vs vanilla Jaccard", render_table_iii),
+        ("Table IV — ingredient and unit relations", render_table_iv),
+    ):
+        print(f"== {title} ==")
+        print(render())
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Nutritional profile estimation in cooking recipes "
+                    "(Kalra et al., ICDE 2020 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    estimate = sub.add_parser("estimate", help="estimate a recipe's profile")
+    estimate.add_argument("phrases", nargs="+", help="ingredient phrases")
+    estimate.add_argument("--servings", type=int, default=1)
+    estimate.set_defaults(func=_cmd_estimate)
+
+    parse = sub.add_parser("parse", help="show NER extraction for phrases")
+    parse.add_argument("phrases", nargs="+")
+    parse.set_defaults(func=_cmd_parse)
+
+    match = sub.add_parser("match", help="match a name to a description")
+    match.add_argument("name")
+    match.add_argument("--state", default="")
+    match.add_argument("--explain", action="store_true")
+    match.add_argument("--top", type=int, default=5)
+    match.set_defaults(func=_cmd_match)
+
+    generate = sub.add_parser("generate", help="generate a synthetic corpus")
+    generate.add_argument("--recipes", type=int, default=10)
+    generate.add_argument("--seed", type=int, default=42)
+    generate.add_argument("--out", default="")
+    generate.set_defaults(func=_cmd_generate)
+
+    tables = sub.add_parser("tables", help="print the paper's tables")
+    tables.set_defaults(func=_cmd_tables)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,27 @@
+"""The paper's primary contribution: end-to-end nutrition estimation.
+
+``NutritionEstimator`` wires the substrates together exactly as the
+paper's Figure 1 architecture does: NER extraction -> closest
+description annotation (modified Jaccard) -> unit matching (with
+derivation and fallbacks) -> per-ingredient nutrient arithmetic ->
+per-serving recipe profile.
+"""
+
+from repro.core.coverage import CoverageHistogram, coverage_histogram
+from repro.core.estimator import (
+    IngredientEstimate,
+    NutritionEstimator,
+    ParsedIngredient,
+    RecipeEstimate,
+)
+from repro.core.profile import NutritionalProfile
+
+__all__ = [
+    "CoverageHistogram",
+    "coverage_histogram",
+    "IngredientEstimate",
+    "NutritionEstimator",
+    "ParsedIngredient",
+    "RecipeEstimate",
+    "NutritionalProfile",
+]

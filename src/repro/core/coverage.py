@@ -1,0 +1,86 @@
+"""Percentage-mapping statistics (paper Figure 2).
+
+Figure 2 plots, over all recipes, the distribution of the percentage
+of a recipe's ingredients that could be mapped to a nutritional
+profile.  Two series matter: name-level mapping (description found)
+and full mapping (description + unit + quantity resolved) — the gap
+between them is the paper's observation that "the main problem lies in
+matching the units".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.estimator import RecipeEstimate
+
+#: Histogram bucket edges in percent; the last bucket is exactly 100%.
+BUCKETS: tuple[tuple[int, int], ...] = (
+    (0, 10), (10, 20), (20, 30), (30, 40), (40, 50),
+    (50, 60), (60, 70), (70, 80), (80, 90), (90, 100), (100, 100),
+)
+
+
+@dataclass(frozen=True, slots=True)
+class CoverageHistogram:
+    """Recipe counts per coverage bucket."""
+
+    counts: tuple[int, ...]
+    total: int
+
+    def __post_init__(self) -> None:
+        if len(self.counts) != len(BUCKETS):
+            raise ValueError(
+                f"expected {len(BUCKETS)} buckets, got {len(self.counts)}"
+            )
+
+    def fractions(self) -> tuple[float, ...]:
+        """Bucket shares of all recipes."""
+        if self.total == 0:
+            return tuple(0.0 for _ in self.counts)
+        return tuple(c / self.total for c in self.counts)
+
+    def labels(self) -> tuple[str, ...]:
+        """Human-readable bucket labels."""
+        out = []
+        for lo, hi in BUCKETS:
+            out.append("100%" if lo == hi else f"{lo}-{hi}%")
+        return tuple(out)
+
+    def ascii_chart(self, width: int = 50) -> str:
+        """Render the histogram as an ASCII bar chart."""
+        peak = max(self.counts) if self.counts else 0
+        lines = []
+        for label, count in zip(self.labels(), self.counts):
+            bar = "#" * (round(width * count / peak) if peak else 0)
+            share = count / self.total * 100 if self.total else 0.0
+            lines.append(f"{label:>8} | {bar} {count} ({share:.1f}%)")
+        return "\n".join(lines)
+
+
+def _bucket_index(percent: float) -> int:
+    """Bucket for a coverage percentage in [0, 100]."""
+    if not 0.0 <= percent <= 100.0:
+        raise ValueError(f"coverage percent out of range: {percent}")
+    if percent >= 100.0:
+        return len(BUCKETS) - 1
+    return min(int(percent // 10), len(BUCKETS) - 2)
+
+
+def coverage_histogram(
+    estimates: list[RecipeEstimate], level: str = "full"
+) -> CoverageHistogram:
+    """Histogram of per-recipe mapping percentages.
+
+    *level* is ``"full"`` (name and unit resolved) or ``"name"``
+    (description found regardless of units).
+    """
+    if level not in ("full", "name"):
+        raise ValueError(f"level must be 'full' or 'name': {level!r}")
+    counts = [0] * len(BUCKETS)
+    for est in estimates:
+        fraction = (
+            est.fraction_fully_mapped if level == "full" else est.fraction_name_mapped
+        )
+        counts[_bucket_index(fraction * 100.0)] += 1
+    return CoverageHistogram(counts=tuple(counts), total=len(estimates))

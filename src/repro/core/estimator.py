@@ -1,0 +1,339 @@
+"""End-to-end nutritional profile estimation (paper Figure 1).
+
+Per ingredient phrase:
+
+1. **Ingredient Data Mining** — tokenize, run the NER tagger, group
+   tagged tokens into NAME / STATE / UNIT / QUANTITY / TEMP / DF / SIZE
+   entities (§II-A).
+2. **Closest Description Annotation** — match NAME (+STATE/TEMP/DF)
+   against USDA-SR with the modified Jaccard matcher (§II-B).
+3. **Units Matching** — normalize the unit, resolve grams through the
+   matched food's portions (deriving volumes when absent), then run
+   the fallback chain: scan the raw phrase for a known unit, apply the
+   grams-per-line plausibility threshold, and finally use the most
+   frequent unit observed for that ingredient across the corpus
+   (§II-C).
+4. Multiply nutrients-per-gram by the resolved grams; sum over the
+   recipe; divide by servings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from repro.core.profile import NutritionalProfile
+from repro.matching.matcher import DescriptionMatcher, MatcherConfig
+from repro.matching.types import MatchResult
+from repro.ner.rule_tagger import RuleBasedTagger
+from repro.recipedb.model import Recipe
+from repro.text.quantity import try_parse_quantity
+from repro.units.fallback import UnitFallback, scan_for_unit
+from repro.units.gram_weights import UnitResolution, UnitResolver
+from repro.text.tokenize import tokenize
+from repro.usda.database import NutrientDatabase, load_default_database
+
+#: Ingredient-level mapping status (drives Figure 2's two series).
+STATUS_FULL = "matched"          # name and unit both resolved
+STATUS_NAME_ONLY = "name-only"   # description found, unit failed
+STATUS_UNMATCHED = "unmatched"   # no description match
+
+
+class Tagger(Protocol):
+    """Anything that tags token sequences (perceptron, CRF, rules)."""
+
+    def predict(self, tokens: list[str] | tuple[str, ...]) -> list[str]:
+        ...
+
+
+@dataclass(frozen=True, slots=True)
+class ParsedIngredient:
+    """Entity view of one tagged phrase."""
+
+    text: str
+    tokens: tuple[str, ...]
+    tags: tuple[str, ...]
+    name: str
+    state: str
+    unit: str
+    quantity: str
+    temperature: str
+    dry_fresh: str
+    size: str
+
+
+@dataclass(frozen=True, slots=True)
+class IngredientEstimate:
+    """Per-ingredient estimation outcome with full provenance."""
+
+    parsed: ParsedIngredient
+    status: str
+    match: MatchResult | None = None
+    resolution: UnitResolution | None = None
+    quantity: float = 0.0
+    grams: float = 0.0
+    profile: NutritionalProfile = field(default_factory=NutritionalProfile.zero)
+    used_fallback_unit: bool = False
+
+    @property
+    def calories(self) -> float:
+        return self.profile.calories
+
+
+@dataclass(frozen=True, slots=True)
+class RecipeEstimate:
+    """Recipe-level aggregate."""
+
+    ingredients: tuple[IngredientEstimate, ...]
+    servings: int
+    total: NutritionalProfile
+    per_serving: NutritionalProfile
+
+    @property
+    def fraction_fully_mapped(self) -> float:
+        """Share of ingredient lines with name+unit resolved (Figure 2)."""
+        if not self.ingredients:
+            return 0.0
+        full = sum(1 for i in self.ingredients if i.status == STATUS_FULL)
+        return full / len(self.ingredients)
+
+    @property
+    def fraction_name_mapped(self) -> float:
+        """Share of lines whose name matched a description."""
+        if not self.ingredients:
+            return 0.0
+        named = sum(
+            1 for i in self.ingredients if i.status != STATUS_UNMATCHED
+        )
+        return named / len(self.ingredients)
+
+
+class NutritionEstimator:
+    """The full pipeline over one nutrient database."""
+
+    def __init__(
+        self,
+        database: NutrientDatabase | None = None,
+        tagger: Tagger | None = None,
+        matcher_config: MatcherConfig | None = None,
+        fallback: UnitFallback | None = None,
+    ):
+        self._db = database or load_default_database()
+        self._tagger: Tagger = tagger or RuleBasedTagger()
+        self._matcher = DescriptionMatcher(self._db, matcher_config)
+        self._fallback = fallback or UnitFallback()
+        self._resolvers: dict[str, UnitResolver] = {}
+
+    @property
+    def database(self) -> NutrientDatabase:
+        return self._db
+
+    @property
+    def matcher(self) -> DescriptionMatcher:
+        return self._matcher
+
+    @property
+    def fallback(self) -> UnitFallback:
+        return self._fallback
+
+    # ------------------------------------------------------------------
+    # stage 1: ingredient data mining
+
+    def parse(self, text: str) -> ParsedIngredient:
+        """Tokenize, tag and group entities for one phrase.
+
+        Phrases split into *segments* at commas and the alternative
+        markers "or"/"plus"; NAME, UNIT, QUANTITY, SIZE, TEMP and DF
+        come from the first segment that carries a NAME tag ("3/4 cup
+        butter or 3/4 cup margarine , softened" keeps quantity "3/4",
+        unit "cup", name "butter" — Table I keeps the first
+        alternative; "cream of mushroom soup" keeps the full
+        O-interrupted name).  STATE keeps every tagged token across
+        segments ("1 hard-cooked egg , finely chopped" ->
+        "hard-cooked chopped").  Within the primary segment, QUANTITY
+        and UNIT take the first contiguous run so packaging
+        parentheticals ("1 (15 ounce) can") cannot smuggle a second
+        measure in.
+        """
+        tokens = tuple(tokenize(text))
+        tags = tuple(self._tagger.predict(list(tokens)))
+
+        segments: list[list[int]] = [[]]
+        for i, token in enumerate(tokens):
+            if token == "," or token.lower() in ("or", "plus"):
+                segments.append([])
+            else:
+                segments[-1].append(i)
+        primary = next(
+            (seg for seg in segments if any(tags[i] == "NAME" for i in seg)),
+            list(range(len(tokens))),
+        )
+
+        def first_run(tag: str) -> list[str]:
+            run: list[str] = []
+            in_run = False
+            for i in primary:
+                if tags[i] == tag:
+                    run.append(tokens[i])
+                    in_run = True
+                elif in_run:
+                    break
+            return run
+
+        name_tokens = [tokens[i] for i in primary if tags[i] == "NAME"]
+        state_tokens = [t for t, g in zip(tokens, tags) if g == "STATE"]
+        quantity = " ".join(first_run("QUANTITY")).replace(" - ", "-")
+        return ParsedIngredient(
+            text=text,
+            tokens=tokens,
+            tags=tags,
+            name=" ".join(name_tokens),
+            state=" ".join(state_tokens),
+            unit=" ".join(first_run("UNIT")),
+            quantity=quantity,
+            temperature=" ".join(tokens[i] for i in primary if tags[i] == "TEMP"),
+            dry_fresh=" ".join(tokens[i] for i in primary if tags[i] == "DF"),
+            size=" ".join(tokens[i] for i in primary if tags[i] == "SIZE"),
+        )
+
+    # ------------------------------------------------------------------
+    # stage 3: units
+
+    def _resolver(self, ndb_no: str) -> UnitResolver:
+        if ndb_no not in self._resolvers:
+            self._resolvers[ndb_no] = UnitResolver(self._db.get(ndb_no))
+        return self._resolvers[ndb_no]
+
+    def _resolve_unit(
+        self, parsed: ParsedIngredient, match: MatchResult, quantity: float
+    ) -> tuple[UnitResolution | None, bool]:
+        """Unit resolution with the §II-C fallback chain.
+
+        Returns (resolution, used_corpus_fallback).
+        """
+        resolver = self._resolver(match.food.ndb_no)
+
+        unit = parsed.unit or None
+        resolution = resolver.resolve(unit) if unit else None
+
+        # NER missed the unit: scan the raw phrase for a known one.
+        if resolution is None and unit is None:
+            scanned = scan_for_unit(parsed.text)
+            if scanned is not None:
+                resolution = resolver.resolve(scanned)
+
+        # Size entity doubles as a unit ("1 small onion").
+        if resolution is None and parsed.size:
+            resolution = resolver.resolve(parsed.size)
+
+        # Bare count ("2 eggs").
+        if resolution is None and not parsed.unit:
+            resolution = resolver.resolve(None)
+
+        # Plausibility threshold: "500 cups" style mis-detections.
+        if resolution is not None and not self._fallback.plausible(
+            quantity, resolution.grams_per_unit
+        ):
+            scanned = scan_for_unit(parsed.text)
+            rescued = resolver.resolve(scanned) if scanned else None
+            if rescued is not None and self._fallback.plausible(
+                quantity, rescued.grams_per_unit
+            ):
+                resolution = rescued
+            else:
+                resolution = None
+
+        if resolution is not None:
+            return resolution, False
+
+        # Last resort: the most frequent unit for this ingredient name
+        # across the corpus observed so far.
+        frequent = self._fallback.most_frequent_unit(parsed.name)
+        if frequent is not None:
+            rescued = resolver.resolve(frequent)
+            if rescued is not None and self._fallback.plausible(
+                quantity, rescued.grams_per_unit
+            ):
+                return rescued, True
+        return None, False
+
+    # ------------------------------------------------------------------
+    # per-ingredient estimate
+
+    def estimate_ingredient(self, text: str) -> IngredientEstimate:
+        """Full pipeline for one phrase."""
+        parsed = self.parse(text)
+        if not parsed.name:
+            return IngredientEstimate(parsed=parsed, status=STATUS_UNMATCHED)
+        match = self._matcher.match(
+            parsed.name, parsed.state, parsed.temperature, parsed.dry_fresh
+        )
+        if match is None:
+            return IngredientEstimate(parsed=parsed, status=STATUS_UNMATCHED)
+
+        quantity = try_parse_quantity(parsed.quantity) if parsed.quantity else None
+        if quantity is None:
+            quantity = 1.0  # "salt to taste" and missing quantities
+
+        resolution, used_fallback = self._resolve_unit(parsed, match, quantity)
+        if resolution is None:
+            return IngredientEstimate(
+                parsed=parsed,
+                status=STATUS_NAME_ONLY,
+                match=match,
+                quantity=quantity,
+            )
+        grams = quantity * resolution.grams_per_unit
+        self._fallback.observe(parsed.name, resolution.unit)
+        return IngredientEstimate(
+            parsed=parsed,
+            status=STATUS_FULL,
+            match=match,
+            resolution=resolution,
+            quantity=quantity,
+            grams=grams,
+            profile=NutritionalProfile.from_food(match.food, grams),
+            used_fallback_unit=used_fallback,
+        )
+
+    # ------------------------------------------------------------------
+    # recipe level
+
+    def estimate_recipe(
+        self, ingredient_texts: list[str], servings: int = 1
+    ) -> RecipeEstimate:
+        """Estimate a whole recipe from its ingredient phrases."""
+        if servings <= 0:
+            raise ValueError(f"servings must be positive: {servings}")
+        estimates = tuple(
+            self.estimate_ingredient(text) for text in ingredient_texts
+        )
+        total = NutritionalProfile.zero()
+        for est in estimates:
+            total = total + est.profile
+        return RecipeEstimate(
+            ingredients=estimates,
+            servings=servings,
+            total=total,
+            per_serving=total.per_serving(servings),
+        )
+
+    def estimate_corpus(
+        self, recipes: list[Recipe], passes: int = 2
+    ) -> list[RecipeEstimate]:
+        """Estimate many recipes with corpus-level unit statistics.
+
+        The first pass populates the most-frequent-unit table from
+        successfully resolved lines; the final pass re-estimates so
+        lines that needed the fallback benefit from the full corpus
+        (the paper's garlic -> clove example).
+        """
+        if passes < 1:
+            raise ValueError(f"passes must be >= 1: {passes}")
+        results: list[RecipeEstimate] = []
+        for _ in range(passes):
+            results = [
+                self.estimate_recipe(r.ingredient_texts, r.servings)
+                for r in recipes
+            ]
+        return results

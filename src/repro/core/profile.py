@@ -1,0 +1,82 @@
+"""Nutritional profile arithmetic.
+
+A profile is a vector over the tracked nutrient panel.  The paper's
+core assumption ([3], Schakel et al.): "the sum total of nutrition of
+ingredients in a particular recipe can be approximated for the
+nutritional profile of the recipe" — so profiles form a small linear
+algebra: add ingredients, scale by grams, divide by servings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.usda.nutrients import NUTRIENT_KEYS
+from repro.usda.schema import FoodItem
+
+
+@dataclass(frozen=True, slots=True)
+class NutritionalProfile:
+    """Immutable nutrient vector (absolute amounts, not per-100 g)."""
+
+    values: dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        unknown = set(self.values) - set(NUTRIENT_KEYS)
+        if unknown:
+            raise ValueError(f"unknown nutrient keys: {sorted(unknown)}")
+
+    @classmethod
+    def zero(cls) -> "NutritionalProfile":
+        """The additive identity."""
+        return cls({})
+
+    @classmethod
+    def from_food(cls, food: FoodItem, grams: float) -> "NutritionalProfile":
+        """Profile of *grams* of *food* (SR values are per 100 g)."""
+        if grams < 0:
+            raise ValueError(f"negative grams: {grams}")
+        return cls(
+            {key: value * grams / 100.0 for key, value in food.nutrients.items()}
+        )
+
+    def get(self, key: str) -> float:
+        """Amount of nutrient *key* (0.0 if absent)."""
+        if key not in NUTRIENT_KEYS:
+            raise KeyError(f"unknown nutrient key: {key}")
+        return self.values.get(key, 0.0)
+
+    @property
+    def calories(self) -> float:
+        """Energy in kcal."""
+        return self.get("energy_kcal")
+
+    def __add__(self, other: "NutritionalProfile") -> "NutritionalProfile":
+        keys = set(self.values) | set(other.values)
+        return NutritionalProfile(
+            {k: self.values.get(k, 0.0) + other.values.get(k, 0.0) for k in keys}
+        )
+
+    def scaled(self, factor: float) -> "NutritionalProfile":
+        """Profile multiplied by *factor*.
+
+        Also the hook for cooking-yield adjustment ([4], Bognár &
+        Piekarski), which the paper leaves as future work: apply a
+        retention factor per cooked ingredient if one is known.
+        """
+        if factor < 0:
+            raise ValueError(f"negative factor: {factor}")
+        return NutritionalProfile({k: v * factor for k, v in self.values.items()})
+
+    def per_serving(self, servings: int) -> "NutritionalProfile":
+        """Divide by a positive serving count."""
+        if servings <= 0:
+            raise ValueError(f"servings must be positive: {servings}")
+        return self.scaled(1.0 / servings)
+
+    def rounded(self, ndigits: int = 2) -> dict[str, float]:
+        """Plain dict with rounded values, canonical key order."""
+        return {
+            key: round(self.values.get(key, 0.0), ndigits)
+            for key in NUTRIENT_KEYS
+        }

@@ -1,0 +1,144 @@
+"""Cooking-yield and nutrient-retention adjustment (paper [4]).
+
+The paper notes: "more accurate results would be obtained if
+nutritional yield due to cooking is taken into account, but there is
+no such consolidated resource for yield values" — and leaves yields as
+future work.  This module implements that extension with a compact
+yield/retention table in the style of Bognár & Piekarski (2000) and
+the USDA retention-factor releases, so the hook exists and is tested
+even though the main protocol (like the paper's) does not apply it.
+
+Two distinct effects are modeled:
+
+* **weight yield** — cooked weight / raw weight (moisture loss or
+  uptake): roasting shrinks meat, boiling swells rice;
+* **nutrient retention** — fraction of each nutrient surviving the
+  process (vitamin C suffers in boiling; energy is conserved except
+  for fat drip losses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.profile import NutritionalProfile
+from repro.usda.nutrients import NUTRIENT_KEYS
+
+
+@dataclass(frozen=True, slots=True)
+class YieldFactor:
+    """Yield/retention for one cooking method.
+
+    Attributes
+    ----------
+    method:
+        Cooking method name ("boiled", "roasted", ...).
+    weight_yield:
+        cooked grams per raw gram (informational; profiles track
+        absolute nutrients so weight change does not alter them).
+    retention:
+        nutrient key -> retained fraction; unlisted nutrients retain
+        fully.
+    """
+
+    method: str
+    weight_yield: float
+    retention: dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.weight_yield <= 0:
+            raise ValueError(f"non-positive weight yield: {self.weight_yield}")
+        for key, value in self.retention.items():
+            if key not in NUTRIENT_KEYS:
+                raise ValueError(f"unknown nutrient key: {key}")
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"retention out of [0, 1]: {key}={value}")
+
+    def apply(self, profile: NutritionalProfile) -> NutritionalProfile:
+        """Profile after cooking losses (absolute nutrient amounts)."""
+        return NutritionalProfile(
+            {
+                key: value * self.retention.get(key, 1.0)
+                for key, value in profile.values.items()
+            }
+        )
+
+
+#: Representative factors (Bognár & Piekarski-style magnitudes).
+YIELD_FACTORS: dict[str, YieldFactor] = {
+    factor.method: factor
+    for factor in (
+        YieldFactor("raw", 1.00, {}),
+        YieldFactor("boiled", 0.95, {
+            "vitamin_c_mg": 0.50, "sodium_mg": 0.85, "calcium_mg": 0.95,
+            "iron_mg": 0.95, "sugar_g": 0.95,
+        }),
+        YieldFactor("steamed", 0.93, {
+            "vitamin_c_mg": 0.75, "calcium_mg": 0.98, "iron_mg": 0.98,
+        }),
+        YieldFactor("roasted", 0.73, {
+            "vitamin_c_mg": 0.70, "fat_g": 0.92, "energy_kcal": 0.96,
+            "saturated_fat_g": 0.92,
+        }),
+        YieldFactor("grilled", 0.70, {
+            "vitamin_c_mg": 0.70, "fat_g": 0.85, "energy_kcal": 0.93,
+            "saturated_fat_g": 0.85,
+        }),
+        YieldFactor("fried", 0.82, {
+            "vitamin_c_mg": 0.65,
+        }),
+        YieldFactor("baked", 0.88, {
+            "vitamin_c_mg": 0.70,
+        }),
+        YieldFactor("microwaved", 0.90, {
+            "vitamin_c_mg": 0.80,
+        }),
+    )
+}
+
+#: STATE words that imply a cooking method (extraction convenience).
+STATE_TO_METHOD: dict[str, str] = {
+    "boiled": "boiled",
+    "hard-boiled": "boiled",
+    "steamed": "steamed",
+    "roasted": "roasted",
+    "grilled": "grilled",
+    "fried": "fried",
+    "baked": "baked",
+    "toasted": "baked",
+    "cooked": "boiled",
+}
+
+
+def yield_factor(method: str) -> YieldFactor:
+    """Factor for *method* (KeyError for unknown methods)."""
+    return YIELD_FACTORS[method]
+
+
+def infer_method(state: str) -> str | None:
+    """Cooking method implied by a STATE string, if any.
+
+    >>> infer_method("roasted and chopped")
+    'roasted'
+    >>> infer_method("finely chopped") is None
+    True
+    """
+    for word in state.lower().split():
+        if word in STATE_TO_METHOD:
+            return STATE_TO_METHOD[word]
+    return None
+
+
+def apply_cooking_yield(
+    profile: NutritionalProfile, state: str
+) -> tuple[NutritionalProfile, str | None]:
+    """Adjust a raw-ingredient profile for the cooking its state implies.
+
+    Returns (adjusted profile, method or None).  With no method
+    implied the profile is returned unchanged — exactly the paper's
+    default behaviour.
+    """
+    method = infer_method(state)
+    if method is None:
+        return profile, None
+    return YIELD_FACTORS[method].apply(profile), method

@@ -1,0 +1,150 @@
+"""Regenerate the paper's Tables I–IV as formatted text."""
+
+from __future__ import annotations
+
+from repro.core.estimator import NutritionEstimator
+from repro.matching.matcher import DescriptionMatcher, MatcherConfig
+from repro.recipedb.phrases import PIROSZHKI_TABLE_I
+from repro.units.gram_weights import UnitResolver
+from repro.usda.database import NutrientDatabase, load_default_database
+
+#: Table II's nineteen example descriptions, verbatim from the paper.
+TABLE_II_DESCRIPTIONS: tuple[str, ...] = (
+    "Butter, salted",
+    "Butter, whipped, with salt",
+    "Butter, without salt",
+    "Cheese, blue",
+    "Cheese, cottage, creamed, large or small curd",
+    "Cheese, mozzarella, whole milk",
+    "Milk, reduced fat, fluid, 2% milkfat, with added vitamin A and vitamin D",
+    "Milk, reduced fat, fluid, 2% milkfat, with added nonfat milk solids "
+    "and vitamin A and vitamin D",
+    "Milk, reduced fat, fluid, 2% milkfat, protein fortified, "
+    "with added vitamin A and vitamin D",
+    "Milk, indian buffalo, fluid",
+    "Milk shakes, thick chocolate",
+    "Milk shakes, thick vanilla",
+    "Yogurt, plain, whole milk, 8 grams protein per 8 ounce",
+    "Yogurt, vanilla, low fat, 11 grams protein per 8 ounce",
+    "Egg, whole, raw, fresh",
+    "Egg, white, raw, fresh",
+    "Egg, yolk, raw, fresh",
+    "Apples, raw, with skin",
+    "Apples, raw, without skin",
+)
+
+#: Table III's ten (phrase, name, state) probes and the paper's matches.
+TABLE_III_ROWS: tuple[tuple[str, str, str, str, str], ...] = (
+    # (ingredient phrase, extracted name, state,
+    #  paper's modified-JI match, paper's vanilla-JI match)
+    ("1 cup red lentil", "red lentils", "",
+     "Lentils, pink or red, raw", "Cherries, sour, red, raw"),
+    ("1 roma tomato , quartered", "roma tomato", "quartered",
+     "Soup, tomato beef with noodle, canned, condensed",
+     "Soup, tomato, canned, condensed"),
+    ("1/4 teaspoon ground coriander", "coriander", "ground",
+     "Coriander (cilantro) leaves, raw", "Spices, coriander leaf, dried"),
+    ("2 tablespoons tomato paste", "tomato paste", "",
+     "Tomato products, canned, paste, without salt added",
+     "Soup, tomato, canned, condensed"),
+    ("1 1/4 cups vegetable broth", "vegetable broth", "",
+     "Soup, vegetable with beef broth, canned, condensed",
+     "Soup, vegetable broth, ready to serve"),
+    ("1 can fava beans", "fava beans", "",
+     "Broadbeans (fava beans), mature seeds, raw",
+     "Beans, fava, in pod, raw"),
+    ("1 teaspoon ground cayenne pepper", "cayenne pepper", "ground",
+     "Spices, pepper, red or cayenne", "Spices, pepper, black"),
+    ("1 whole chicken with giblets patted dry and quartered",
+     "chicken with giblets", "patted dry and quartered",
+     "Chicken, broilers or fryers, meat and skin and giblets and neck, raw",
+     "Fast foods, quesadilla, with chicken"),
+    ("2 tablespoons sesame seeds", "sesame seeds", "",
+     "Salad dressing, sesame seed dressing, regular",
+     "Seeds, sesame seeds, whole, dried"),
+    ("1/4 teaspoon ground coriander", "coriander", "ground",
+     "Coriander (cilantro) leaves, raw", "Spices, coriander leaf, dried"),
+)
+
+
+def _grid(headers: list[str], rows: list[list[str]]) -> str:
+    """Minimal fixed-width table renderer."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    fmt = "  ".join(f"{{:<{w}}}" for w in widths)
+    lines = [fmt.format(*headers), fmt.format(*("-" * w for w in widths))]
+    lines.extend(fmt.format(*row) for row in rows)
+    return "\n".join(lines)
+
+
+def render_table_i(estimator: NutritionEstimator | None = None) -> str:
+    """Table I: NER tag extraction on the 12 Piroszhki phrases."""
+    est = estimator or NutritionEstimator()
+    headers = ["Ingredient Phrase", "Name", "State", "Quantity", "Unit",
+               "Temperature", "Dry/Fresh", "Size"]
+    rows = []
+    for phrase, _gold, _expected in PIROSZHKI_TABLE_I:
+        parsed = est.parse(phrase)
+        rows.append([
+            phrase, parsed.name, parsed.state, parsed.quantity,
+            parsed.unit, parsed.temperature, parsed.dry_fresh, parsed.size,
+        ])
+    return _grid(headers, rows)
+
+
+def render_table_ii(database: NutrientDatabase | None = None) -> str:
+    """Table II: example USDA-SR food descriptions (presence-checked)."""
+    db = database or load_default_database()
+    present = {f.description for f in db}
+    rows = [
+        [str(i + 1), desc, "yes" if desc in present else "MISSING"]
+        for i, desc in enumerate(TABLE_II_DESCRIPTIONS)
+    ]
+    return _grid(["S.No", "Description", "In curated DB"], rows)
+
+
+def render_table_iii(database: NutrientDatabase | None = None) -> str:
+    """Table III: modified vs vanilla Jaccard inferences, ours vs paper's."""
+    db = database or load_default_database()
+    modified = DescriptionMatcher(db, MatcherConfig(use_modified_jaccard=True))
+    vanilla = DescriptionMatcher(db, MatcherConfig(use_modified_jaccard=False))
+    rows = []
+    for phrase, name, state, paper_mod, paper_van in TABLE_III_ROWS:
+        ours_mod = modified.match(name, state)
+        ours_van = vanilla.match(name, state)
+        rows.append([
+            phrase[:40],
+            name,
+            (ours_mod.description if ours_mod else "-")[:52],
+            (ours_van.description if ours_van else "-")[:52],
+            "=" if ours_mod and ours_mod.description == paper_mod else "≠",
+        ])
+    return _grid(
+        ["Ingredient Phrase", "Name", "Ours (modified JI)",
+         "Ours (vanilla JI)", "vs paper"],
+        rows,
+    )
+
+
+def render_table_iv(database: NutrientDatabase | None = None) -> str:
+    """Table IV: ingredient-and-unit relations for Butter, salted."""
+    db = database or load_default_database()
+    butter = db.get("01001")
+    rows = [
+        [butter.description, str(p.seq), f"{p.amount:g}", p.unit,
+         f"{p.grams:g}", f"{p.grams_per_amount:g}"]
+        for p in butter.portions
+    ]
+    resolver = UnitResolver(butter)
+    derived = resolver.resolve("teaspoon")
+    if derived is not None:
+        rows.append([
+            butter.description, "+", "1", "teaspoon (derived by volume)",
+            f"{derived.grams_per_unit:.2f}", f"{derived.grams_per_unit:.2f}",
+        ])
+    return _grid(
+        ["ingredient", "seq", "amount", "unit", "grams", "gram per amount"],
+        rows,
+    )

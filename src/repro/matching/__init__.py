@@ -1,0 +1,21 @@
+"""Closest-description annotation via string similarity (paper §II-B).
+
+The matcher maps an NER-extracted ingredient name (plus its STATE,
+TEMP and DRY/FRESH entities) to a USDA-SR food description using the
+paper's modified Jaccard index and heuristics (a)–(i).
+"""
+
+from repro.matching.jaccard import modified_jaccard, vanilla_jaccard
+from repro.matching.matcher import DescriptionMatcher, MatcherConfig
+from repro.matching.preprocess import preprocess_description, preprocess_words
+from repro.matching.types import MatchResult
+
+__all__ = [
+    "modified_jaccard",
+    "vanilla_jaccard",
+    "DescriptionMatcher",
+    "MatcherConfig",
+    "preprocess_description",
+    "preprocess_words",
+    "MatchResult",
+]

@@ -1,0 +1,42 @@
+"""Vanilla and modified Jaccard indices (paper §II-B (c), (e)).
+
+With A the preprocessed ingredient-phrase word set and B the
+preprocessed food-description word set:
+
+* vanilla:   J(A, B)  = |A ∩ B| / |A ∪ B|
+* modified:  J*(A, B) = |A ∩ B| / |A|
+
+The modified denominator removes the bias against long, detailed food
+descriptions ("skimmed milk" must not lose "Milk, reduced fat, fluid,
+2% milkfat, protein fortified, ..." to "Milk shakes, thick chocolate"
+just because the former has more words).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Set
+
+
+def vanilla_jaccard(a: Set[str], b: Set[str]) -> float:
+    """|A ∩ B| / |A ∪ B|; 0.0 when both sets are empty.
+
+    >>> vanilla_jaccard({"red", "lentil"}, {"lentil", "pink", "red", "raw"})
+    0.5
+    """
+    if not a and not b:
+        return 0.0
+    union = len(a | b)
+    return len(a & b) / union
+
+
+def modified_jaccard(a: Set[str], b: Set[str]) -> float:
+    """|A ∩ B| / |A|; 0.0 when A is empty.
+
+    Bounded in [0, 1] because |A ∩ B| <= |A|.
+
+    >>> modified_jaccard({"red", "lentil"}, {"lentil", "pink", "red", "raw"})
+    1.0
+    """
+    if not a:
+        return 0.0
+    return len(a & b) / len(a)

@@ -1,0 +1,257 @@
+"""The closest-description matcher implementing heuristics (a)–(i).
+
+Selection order for the best description (paper §II-B):
+
+1. highest similarity score — modified Jaccard J* = |A∩B| / |A| by
+   default, vanilla J = |A∩B| / |A∪B| for the ablation/Table III
+   comparison (heuristics (c), (e));
+2. among score ties, lowest mean comma-term priority of the matched
+   words (heuristic (h): "apple" prefers "Apples, raw, with skin" where
+   the match sits in term 1 over "Babyfood, apples, dices, toddler"
+   where it sits in term 2);
+3. among remaining ties, lowest SR index (heuristic (i): "simply take
+   the first match", relying on SR's indexing to put the canonical
+   variant first).
+
+Query construction implements heuristics (b), (d), (f), (g): the word
+set A is built from the ingredient NAME plus STATE/TEMP/DRY-FRESH
+entities, lemmatized and negation-rewritten; when no STATE is given,
+the synthetic word "raw" joins A so uncooked descriptions gain exactly
+one extra matching word.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.matching.jaccard import modified_jaccard, vanilla_jaccard
+from repro.matching.preprocess import (
+    PreprocessedDescription,
+    preprocess_description,
+    preprocess_words,
+)
+from repro.matching.types import MatchResult
+from repro.text.lemmatizer import WordNetStyleLemmatizer
+from repro.usda.database import NutrientDatabase
+
+
+@dataclass(frozen=True, slots=True)
+class MatcherConfig:
+    """Ablation switches for the matching heuristics.
+
+    The defaults reproduce the paper's full protocol; benchmarks flip
+    individual switches to quantify each heuristic's contribution.
+    """
+
+    use_modified_jaccard: bool = True   # heuristic (e) vs vanilla (c)
+    rewrite_negations: bool = True      # heuristic (f)
+    raw_bonus: bool = True              # heuristic (g)
+    priority_tiebreak: bool = True      # heuristic (h)
+    min_score: float = 1e-9             # below this, no match at all
+
+
+class DescriptionMatcher:
+    """Match ingredient names to food descriptions in a database."""
+
+    def __init__(
+        self,
+        database: NutrientDatabase,
+        config: MatcherConfig | None = None,
+    ):
+        self._db = database
+        self._config = config or MatcherConfig()
+        # The lemmatizer validates rule output against the database
+        # vocabulary (paper (b): WordNet lemmatization; our lexicon is
+        # the matching vocabulary itself).
+        self._lemmatizer = WordNetStyleLemmatizer(database.vocabulary())
+        self._descriptions: list[PreprocessedDescription] = [
+            preprocess_description(food.description, self._lemmatizer)
+            for food in database
+        ]
+        self._foods = list(database)
+        self._cache: dict[tuple[str, str, str, str], MatchResult | None] = {}
+
+    @property
+    def database(self) -> NutrientDatabase:
+        return self._db
+
+    @property
+    def config(self) -> MatcherConfig:
+        return self._config
+
+    def build_query(
+        self,
+        name: str,
+        state: str = "",
+        temperature: str = "",
+        dry_fresh: str = "",
+    ) -> tuple[frozenset[str], bool]:
+        """Construct the word set A; returns (words, raw_preference).
+
+        Heuristic (d): STATE, TEMP and DRY/FRESH entities join the
+        name because "comma-separated terms in later portions of the
+        food description are more likely to match with the State,
+        Temperature and Freshness of the ingredient".
+
+        Heuristic (g): when no STATE was identified, descriptions
+        containing the word "raw" get a preference — implemented as a
+        tie-break (``raw_preference=True``) rather than a query word so
+        the bonus can never outvote real word overlap ("white sugar"
+        must not drift to "Egg, white, raw, fresh" on the strength of
+        the synthetic "raw").
+        """
+        parts = " ".join(p for p in (name, state, temperature, dry_fresh) if p)
+        words = frozenset(self._preprocess(parts))
+        raw_preference = self._config.raw_bonus and not state.strip()
+        return words, raw_preference
+
+    def _preprocess(self, text: str) -> list[str]:
+        if not self._config.rewrite_negations:
+            # Ablation: skip negation rewriting but keep the rest of
+            # the pipeline (tokenize, stop words, lemmatize).
+            from repro.text.stopwords import STOP_WORDS
+            from repro.text.tokenize import word_tokens
+            from repro.matching.preprocess import canonical_word
+
+            return [
+                canonical_word(w, self._lemmatizer)
+                for w in word_tokens(text)
+                if w not in STOP_WORDS
+            ]
+        return preprocess_words(text, self._lemmatizer)
+
+    def match(
+        self,
+        name: str,
+        state: str = "",
+        temperature: str = "",
+        dry_fresh: str = "",
+    ) -> MatchResult | None:
+        """Best description for an ingredient, or ``None`` if nothing scores.
+
+        Results are cached per (name, state, temperature, dry_fresh).
+        """
+        key = (name.lower(), state.lower(), temperature.lower(), dry_fresh.lower())
+        if key in self._cache:
+            return self._cache[key]
+        result = self._match_uncached(name, state, temperature, dry_fresh)
+        self._cache[key] = result
+        return result
+
+    def _match_uncached(
+        self, name: str, state: str, temperature: str, dry_fresh: str
+    ) -> MatchResult | None:
+        query, raw_pref = self.build_query(name, state, temperature, dry_fresh)
+        if not query:
+            return None
+        # A candidate must share at least one word with the NAME itself:
+        # state/temperature words alone ("diced" matching "Babyfood,
+        # apples, dices, toddler" for "bacon, diced") never constitute
+        # a match.
+        name_words = frozenset(self._preprocess(name))
+        best: MatchResult | None = None
+        for index, (food, desc) in enumerate(zip(self._foods, self._descriptions)):
+            matched = query & desc.words
+            if not matched:
+                continue
+            if name_words and not (matched & name_words):
+                continue
+            if self._config.use_modified_jaccard:
+                score = modified_jaccard(query, desc.words)
+            else:
+                score = vanilla_jaccard(query, desc.words)
+            if score < self._config.min_score:
+                continue
+            candidate = MatchResult(
+                food=food,
+                score=score,
+                priority=self._mean_priority(matched, desc),
+                db_index=index,
+                query_words=query,
+                matched_words=frozenset(matched),
+                raw_added=raw_pref and desc.has_raw,
+            )
+            if best is None or self._better(candidate, best):
+                best = candidate
+        return best
+
+    def _mean_priority(
+        self, matched: set[str], desc: PreprocessedDescription
+    ) -> float:
+        """Mean comma-term index of matched words (lower is better)."""
+        if not matched:
+            return float("inf")
+        return sum(desc.term_priority[w] for w in matched) / len(matched)
+
+    def _better(self, a: MatchResult, b: MatchResult) -> bool:
+        """True if *a* beats *b*: score, raw preference, priority, index.
+
+        The heuristic-(g) raw preference sits between priority and
+        index: at equal word overlap *and* equal term priority, an
+        uncooked ingredient prefers the description that says "raw"
+        ("fava beans" picks "Broadbeans (fava beans), mature seeds,
+        raw" over the canned variant; "whole eggs" picks "Egg, whole,
+        raw, fresh" over the hard-boiled entry).  Term priority stays
+        ahead of it so "white sugar" resolves to term-1 "Sugars,
+        granulated" rather than raw-but-term-2 "Egg, white, raw,
+        fresh" (heuristic (h) before (g)).
+        """
+        if a.score != b.score:
+            return a.score > b.score
+        if self._config.priority_tiebreak and a.priority != b.priority:
+            return a.priority < b.priority
+        if a.raw_added != b.raw_added:
+            return a.raw_added
+        return a.db_index < b.db_index
+
+    def top_matches(
+        self,
+        name: str,
+        state: str = "",
+        temperature: str = "",
+        dry_fresh: str = "",
+        k: int = 5,
+    ) -> list[MatchResult]:
+        """The *k* best-scoring candidates, in selection order.
+
+        Useful for audits (the paper's manual validation of the 5,000
+        most frequent ingredient+state pairs) and for debugging
+        collisions.
+        """
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        query, raw_pref = self.build_query(name, state, temperature, dry_fresh)
+        if not query:
+            return []
+        name_words = frozenset(self._preprocess(name))
+        candidates: list[MatchResult] = []
+        for index, (food, desc) in enumerate(zip(self._foods, self._descriptions)):
+            matched = query & desc.words
+            if not matched:
+                continue
+            if name_words and not (matched & name_words):
+                continue
+            if self._config.use_modified_jaccard:
+                score = modified_jaccard(query, desc.words)
+            else:
+                score = vanilla_jaccard(query, desc.words)
+            if score < self._config.min_score:
+                continue
+            candidates.append(
+                MatchResult(
+                    food=food,
+                    score=score,
+                    priority=self._mean_priority(matched, desc),
+                    db_index=index,
+                    query_words=query,
+                    matched_words=frozenset(matched),
+                    raw_added=raw_pref and desc.has_raw,
+                )
+            )
+        sort_key = (
+            (lambda r: (-r.score, r.priority, not r.raw_added, r.db_index))
+            if self._config.priority_tiebreak
+            else (lambda r: (-r.score, not r.raw_added, r.db_index))
+        )
+        candidates.sort(key=sort_key)
+        return candidates[:k]

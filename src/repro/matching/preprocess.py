@@ -1,0 +1,111 @@
+"""Word-set preprocessing shared by both sides of the match (§II-B).
+
+Order of operations (identical for ingredient phrases and USDA
+descriptions, which is what makes the negation trick work):
+
+1. tokenize to lower-cased alphabetic words (hyphens split),
+2. rewrite negation words/affixes to explicit ``not`` (heuristic (f)),
+3. remove stop words (``not`` is deliberately not a stop word),
+4. lemmatize — nouns by default; past participles fall back to the
+   verb lemma so "salted" (from "unsalted" -> "not salted") meets the
+   description side's "salt" ("Butter, without salt" -> "not salt").
+
+Descriptions additionally carry *term priorities*: the 1-based index of
+the comma-separated term each word first appears in (heuristic (a):
+earlier terms matter more; heuristic (h) uses these to break ties).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.text.lemmatizer import WordNetStyleLemmatizer, default_lemmatizer
+from repro.text.negation import rewrite_negations
+from repro.text.stopwords import STOP_WORDS
+from repro.text.tokenize import word_tokens
+
+#: Participle suffixes that trigger the verb-lemma fallback.
+_PARTICIPLE_SUFFIXES = ("ed", "ing")
+
+
+def canonical_word(
+    word: str, lemmatizer: WordNetStyleLemmatizer | None = None
+) -> str:
+    """Lemmatize one word the way the matcher expects.
+
+    Noun lemma first; if that leaves a participle untouched, use the
+    verb lemma so both "salted"/"salt" sides normalize identically.
+    """
+    lem = lemmatizer or default_lemmatizer()
+    noun = lem.lemmatize(word, "n")
+    if noun != word.lower():
+        return noun
+    if word.lower().endswith(_PARTICIPLE_SUFFIXES):
+        return lem.lemmatize(word, "v")
+    return noun
+
+
+def preprocess_words(
+    text: str, lemmatizer: WordNetStyleLemmatizer | None = None
+) -> list[str]:
+    """Full preprocessing returning an ordered token list (may repeat).
+
+    >>> preprocess_words("unsalted butter")
+    ['not', 'salt', 'butter']
+    >>> preprocess_words("Butter, without salt")
+    ['butter', 'not', 'salt']
+    """
+    words = word_tokens(text)
+    words = rewrite_negations(words)
+    out: list[str] = []
+    for word in words:
+        if word in STOP_WORDS:
+            continue
+        out.append(canonical_word(word, lemmatizer))
+    return out
+
+
+def preprocess_word_set(
+    text: str, lemmatizer: WordNetStyleLemmatizer | None = None
+) -> frozenset[str]:
+    """Preprocessed words as a set (the Jaccard operand)."""
+    return frozenset(preprocess_words(text, lemmatizer))
+
+
+@dataclass(frozen=True, slots=True)
+class PreprocessedDescription:
+    """A USDA description ready for matching.
+
+    Attributes
+    ----------
+    words:
+        The preprocessed word set B.
+    term_priority:
+        word -> 1-based index of the comma term the word first occurs
+        in ("Butter, whipped, with salt": butter->1, whip->2, salt->3).
+    has_raw:
+        Whether the literal word "raw" occurs in the description
+        (heuristic (g)'s bonus-word provision).
+    """
+
+    words: frozenset[str]
+    term_priority: dict[str, int]
+    has_raw: bool
+
+
+def preprocess_description(
+    description: str, lemmatizer: WordNetStyleLemmatizer | None = None
+) -> PreprocessedDescription:
+    """Preprocess a comma-separated USDA food description."""
+    terms = [t.strip() for t in description.split(",") if t.strip()]
+    words: set[str] = set()
+    priority: dict[str, int] = {}
+    for index, term in enumerate(terms, start=1):
+        for word in preprocess_words(term, lemmatizer):
+            words.add(word)
+            priority.setdefault(word, index)
+    return PreprocessedDescription(
+        words=frozenset(words),
+        term_priority=priority,
+        has_raw="raw" in words,
+    )

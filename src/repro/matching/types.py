@@ -1,0 +1,47 @@
+"""Result types for description matching."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.usda.schema import FoodItem
+
+
+@dataclass(frozen=True, slots=True)
+class MatchResult:
+    """Outcome of matching one ingredient name against the database.
+
+    Attributes
+    ----------
+    food:
+        The matched USDA food.
+    score:
+        The similarity under the configured metric (modified Jaccard by
+        default), in [0, 1].
+    priority:
+        Mean comma-term index of the matched words (lower = words sit
+        in more important terms) — the heuristic-(h) tie-break key.
+    db_index:
+        SR insertion index of the food — the heuristic-(i) final
+        tie-break ("simply take the first match").
+    query_words:
+        The preprocessed word set A built from the ingredient name and
+        its STATE/TEMP/DRY-FRESH entities (plus the synthetic "raw").
+    matched_words:
+        A ∩ B.
+    raw_added:
+        Whether heuristic (g) injected "raw" into the query.
+    """
+
+    food: FoodItem
+    score: float
+    priority: float
+    db_index: int
+    query_words: frozenset[str] = field(default_factory=frozenset)
+    matched_words: frozenset[str] = field(default_factory=frozenset)
+    raw_added: bool = False
+
+    @property
+    def description(self) -> str:
+        """Convenience: the matched food's long description."""
+        return self.food.description

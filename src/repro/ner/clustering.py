@@ -1,0 +1,125 @@
+"""POS-vector clustering for annotation-corpus selection (paper §II-A).
+
+"In order to include ingredient phrases of large diversity in our
+training and testing set, we utilized Parts of Speech Tagging to form
+vectors representing each ingredient phrase ... defined by the
+frequency of the tag in the ingredient phrase.  We then proceeded to
+cluster the obtained vectors.  The ingredient phrases were chosen for
+the training and testing set by selecting a subset of ingredient
+phrases from each cluster."
+
+A small seeded k-means (k-means++ init) over the tag-frequency vectors
+of :func:`repro.text.pos.tag_frequency_vector`, plus the proportional
+per-cluster sampler that builds the 6,612 / 2,188 split.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.text.pos import tag_frequency_vector
+
+
+def kmeans(
+    points: np.ndarray, k: int, seed: int = 11, max_iter: int = 100
+) -> tuple[np.ndarray, np.ndarray]:
+    """Seeded k-means++ returning (labels, centroids).
+
+    Deterministic for a given seed; empty clusters are re-seeded from
+    the farthest point.
+    """
+    n = len(points)
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    if n == 0:
+        raise ValueError("no points to cluster")
+    k = min(k, n)
+    rng = np.random.default_rng(seed)
+
+    # k-means++ initialization
+    centroids = np.empty((k, points.shape[1]))
+    centroids[0] = points[rng.integers(n)]
+    dist_sq = ((points - centroids[0]) ** 2).sum(axis=1)
+    for i in range(1, k):
+        total = dist_sq.sum()
+        if total <= 0:
+            centroids[i:] = points[rng.integers(n, size=k - i)]
+            break
+        probs = dist_sq / total
+        centroids[i] = points[rng.choice(n, p=probs)]
+        dist_sq = np.minimum(dist_sq, ((points - centroids[i]) ** 2).sum(axis=1))
+
+    labels = np.zeros(n, dtype=np.int64)
+    for _ in range(max_iter):
+        distances = ((points[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
+        new_labels = distances.argmin(axis=1)
+        if np.array_equal(new_labels, labels) and _ > 0:
+            break
+        labels = new_labels
+        for i in range(k):
+            members = points[labels == i]
+            if len(members):
+                centroids[i] = members.mean(axis=0)
+            else:
+                farthest = distances.min(axis=1).argmax()
+                centroids[i] = points[farthest]
+    return labels, centroids
+
+
+def cluster_phrases(
+    phrase_tokens: list[list[str]] | list[tuple[str, ...]],
+    k: int = 12,
+    seed: int = 11,
+) -> np.ndarray:
+    """Cluster phrases by POS tag-frequency vectors; returns labels."""
+    if not phrase_tokens:
+        raise ValueError("no phrases to cluster")
+    vectors = np.stack([tag_frequency_vector(list(t)) for t in phrase_tokens])
+    labels, _ = kmeans(vectors, k=k, seed=seed)
+    return labels
+
+
+def select_diverse_corpus(
+    phrase_tokens: list[list[str]] | list[tuple[str, ...]],
+    train_size: int,
+    test_size: int,
+    k: int = 12,
+    seed: int = 11,
+) -> tuple[list[int], list[int]]:
+    """Pick train/test phrase indices covering every POS cluster.
+
+    Phrases are clustered, then train and test indices are drawn
+    round-robin across clusters (seeded shuffle within each cluster) so
+    both splits contain every phrase shape.  Returns disjoint
+    (train_indices, test_indices).
+    """
+    n = len(phrase_tokens)
+    if train_size + test_size > n:
+        raise ValueError(
+            f"requested {train_size}+{test_size} phrases from a pool of {n}"
+        )
+    labels = cluster_phrases(phrase_tokens, k=k, seed=seed)
+    rng = np.random.default_rng(seed)
+    buckets: list[list[int]] = [[] for _ in range(labels.max() + 1)]
+    for idx, label in enumerate(labels):
+        buckets[label].append(idx)
+    for bucket in buckets:
+        rng.shuffle(bucket)
+
+    # Interleave clusters round-robin into one order, then slice: the
+    # train prefix and the test suffix each cycle through every
+    # cluster, so both splits cover every phrase shape.
+    interleaved: list[int] = []
+    cursor = 0
+    while len(interleaved) < train_size + test_size:
+        progressed = False
+        for bucket in buckets:
+            if cursor < len(bucket):
+                interleaved.append(bucket[cursor])
+                progressed = True
+        if not progressed:
+            raise RuntimeError("exhausted clusters before filling splits")
+        cursor += 1
+    train = interleaved[:train_size]
+    test = interleaved[train_size : train_size + test_size]
+    return train, test

@@ -1,0 +1,109 @@
+"""Tagged-phrase records and corpus I/O.
+
+Tags follow the paper's inventory — NAME, STATE, UNIT, QUANTITY, TEMP,
+DF (dry/fresh), SIZE — plus O for untagged tokens (punctuation,
+instructions like "to taste").  Tokens carry one tag each (IO
+encoding, as Stanford NER uses for this kind of corpus).
+
+The on-disk format is Stanford NER's training TSV: one ``token<TAB>tag``
+per line, blank line between phrases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+#: The tag inventory, O first (the background tag).
+TAGS: tuple[str, ...] = (
+    "O",
+    "NAME",
+    "STATE",
+    "UNIT",
+    "QUANTITY",
+    "TEMP",
+    "DF",
+    "SIZE",
+)
+
+_TAG_SET = frozenset(TAGS)
+
+
+@dataclass(frozen=True, slots=True)
+class TaggedPhrase:
+    """One ingredient phrase with per-token tags."""
+
+    tokens: tuple[str, ...]
+    tags: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.tokens) != len(self.tags):
+            raise ValueError(
+                f"{len(self.tokens)} tokens vs {len(self.tags)} tags"
+            )
+        bad = [t for t in self.tags if t not in _TAG_SET]
+        if bad:
+            raise ValueError(f"unknown tags: {bad}")
+
+    @property
+    def text(self) -> str:
+        """The phrase as plain text (detokenized with spaces)."""
+        return " ".join(self.tokens)
+
+    def entity_text(self, tag: str) -> str:
+        """All tokens carrying *tag*, joined — e.g. the full NAME span.
+
+        >>> p = TaggedPhrase(("1", "small", "onion"), ("QUANTITY", "SIZE", "NAME"))
+        >>> p.entity_text("NAME")
+        'onion'
+        """
+        if tag not in _TAG_SET:
+            raise ValueError(f"unknown tag: {tag}")
+        return " ".join(tok for tok, t in zip(self.tokens, self.tags) if t == tag)
+
+    def spans(self) -> list[tuple[str, int, int]]:
+        """Maximal same-tag spans as (tag, start, end) with end exclusive.
+
+        O spans are omitted; used for entity-level F1.
+        """
+        out: list[tuple[str, int, int]] = []
+        start = 0
+        for i in range(1, len(self.tags) + 1):
+            if i == len(self.tags) or self.tags[i] != self.tags[start]:
+                if self.tags[start] != "O":
+                    out.append((self.tags[start], start, i))
+                start = i
+        return out
+
+
+def write_tsv(phrases: list[TaggedPhrase], path: str | Path) -> None:
+    """Write phrases in Stanford NER TSV format."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as fh:
+        for phrase in phrases:
+            for token, tag in zip(phrase.tokens, phrase.tags):
+                fh.write(f"{token}\t{tag}\n")
+            fh.write("\n")
+
+
+def read_tsv(path: str | Path) -> list[TaggedPhrase]:
+    """Read phrases from Stanford NER TSV format."""
+    phrases: list[TaggedPhrase] = []
+    tokens: list[str] = []
+    tags: list[str] = []
+    with Path(path).open(encoding="utf-8") as fh:
+        for line in fh:
+            line = line.rstrip("\n")
+            if not line.strip():
+                if tokens:
+                    phrases.append(TaggedPhrase(tuple(tokens), tuple(tags)))
+                    tokens, tags = [], []
+                continue
+            parts = line.split("\t")
+            if len(parts) != 2:
+                raise ValueError(f"bad TSV line: {line!r}")
+            tokens.append(parts[0])
+            tags.append(parts[1])
+    if tokens:
+        phrases.append(TaggedPhrase(tuple(tokens), tuple(tags)))
+    return phrases

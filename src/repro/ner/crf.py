@@ -1,0 +1,191 @@
+"""Linear-chain Conditional Random Field trained with L-BFGS.
+
+The same model family as Stanford NER [Finkel et al. 2005]: per-token
+feature functions paired with tags (emission weights) plus first-order
+tag-transition weights, trained by maximizing L2-regularized
+conditional log-likelihood with scipy's L-BFGS-B, decoded with Viterbi.
+
+Implementation notes
+--------------------
+* Features are indexed once over the training corpus; unseen test
+  features are ignored (standard behaviour).
+* The objective/gradient use the forward-backward algorithm in log
+  space via numpy ``logsumexp``-style reductions.
+* Parameters are a single flat vector: emission block (F × K) followed
+  by transition block (K × K) and start block (K).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import minimize
+from scipy.special import logsumexp
+
+from repro.ner.corpus import TAGS, TaggedPhrase
+from repro.ner.features import extract_features
+from repro.ner.viterbi import viterbi_decode
+
+
+class LinearChainCRF:
+    """CRF tagger over the paper's tag inventory."""
+
+    def __init__(
+        self,
+        tags: tuple[str, ...] = TAGS,
+        l2: float = 1.0,
+        max_iter: int = 100,
+    ):
+        if l2 < 0:
+            raise ValueError(f"negative l2: {l2}")
+        self._tags = tags
+        self._tag_index = {t: i for i, t in enumerate(tags)}
+        self._l2 = l2
+        self._max_iter = max_iter
+        self._feature_index: dict[str, int] = {}
+        self._w_emit: np.ndarray | None = None   # (F, K)
+        self._w_trans: np.ndarray | None = None  # (K, K)
+        self._w_start: np.ndarray | None = None  # (K,)
+        self.converged: bool | None = None
+
+    @property
+    def tags(self) -> tuple[str, ...]:
+        return self._tags
+
+    @property
+    def n_features(self) -> int:
+        return len(self._feature_index)
+
+    # ------------------------------------------------------------------
+    # data preparation
+
+    def _index_features(self, corpus_feats: list[list[list[str]]]) -> None:
+        index: dict[str, int] = {}
+        for phrase_feats in corpus_feats:
+            for token_feats in phrase_feats:
+                for f in token_feats:
+                    if f not in index:
+                        index[f] = len(index)
+        self._feature_index = index
+
+    def _encode(self, phrase_feats: list[list[str]]) -> list[np.ndarray]:
+        """Per-token arrays of known feature indices."""
+        return [
+            np.array(
+                [self._feature_index[f] for f in fs if f in self._feature_index],
+                dtype=np.int64,
+            )
+            for fs in phrase_feats
+        ]
+
+    # ------------------------------------------------------------------
+    # training
+
+    def train(self, phrases: list[TaggedPhrase]) -> None:
+        """Fit by L-BFGS on the regularized conditional log-likelihood."""
+        if not phrases:
+            raise ValueError("empty training corpus")
+        K = len(self._tags)
+        corpus_feats = [extract_features(p.tokens) for p in phrases]
+        self._index_features(corpus_feats)
+        F = len(self._feature_index)
+        encoded = [self._encode(fs) for fs in corpus_feats]
+        gold = [
+            np.array([self._tag_index[t] for t in p.tags], dtype=np.int64)
+            for p in phrases
+        ]
+
+        n_params = F * K + K * K + K
+
+        def unpack(theta: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+            emit = theta[: F * K].reshape(F, K)
+            trans = theta[F * K : F * K + K * K].reshape(K, K)
+            start = theta[F * K + K * K :]
+            return emit, trans, start
+
+        def objective(theta: np.ndarray) -> tuple[float, np.ndarray]:
+            emit, trans, start = unpack(theta)
+            g_emit = np.zeros_like(emit)
+            g_trans = np.zeros_like(trans)
+            g_start = np.zeros_like(start)
+            nll = 0.0
+            for feats, y in zip(encoded, gold):
+                T = len(feats)
+                em = np.zeros((T, K))
+                for t, idx in enumerate(feats):
+                    if idx.size:
+                        em[t] = emit[idx].sum(axis=0)
+                # gold score
+                score = start[y[0]] + em[np.arange(T), y].sum()
+                score += trans[y[:-1], y[1:]].sum() if T > 1 else 0.0
+                # forward
+                alpha = np.zeros((T, K))
+                alpha[0] = start + em[0]
+                for t in range(1, T):
+                    alpha[t] = em[t] + logsumexp(
+                        alpha[t - 1][:, None] + trans, axis=0
+                    )
+                log_z = logsumexp(alpha[-1])
+                nll += log_z - score
+                # backward
+                beta = np.zeros((T, K))
+                for t in range(T - 2, -1, -1):
+                    beta[t] = logsumexp(
+                        trans + (em[t + 1] + beta[t + 1])[None, :], axis=1
+                    )
+                # marginals
+                gamma = np.exp(alpha + beta - log_z)  # (T, K)
+                # expected - empirical
+                for t, idx in enumerate(feats):
+                    if idx.size:
+                        g_emit[idx] += gamma[t]
+                        g_emit[idx, y[t]] -= 1.0
+                g_start += gamma[0]
+                g_start[y[0]] -= 1.0
+                for t in range(1, T):
+                    pair = np.exp(
+                        alpha[t - 1][:, None]
+                        + trans
+                        + (em[t] + beta[t])[None, :]
+                        - log_z
+                    )
+                    g_trans += pair
+                    g_trans[y[t - 1], y[t]] -= 1.0
+            # L2 regularization
+            nll += 0.5 * self._l2 * float(theta @ theta)
+            grad = np.concatenate(
+                [g_emit.ravel(), g_trans.ravel(), g_start]
+            ) + self._l2 * theta
+            return nll, grad
+
+        theta0 = np.zeros(n_params)
+        result = minimize(
+            objective,
+            theta0,
+            jac=True,
+            method="L-BFGS-B",
+            options={"maxiter": self._max_iter},
+        )
+        self.converged = bool(result.success)
+        self._w_emit, self._w_trans, self._w_start = unpack(result.x)
+
+    # ------------------------------------------------------------------
+    # inference
+
+    def predict(self, tokens: list[str] | tuple[str, ...]) -> list[str]:
+        """Tag a token sequence (raises if the model is untrained)."""
+        if self._w_emit is None:
+            raise RuntimeError("CRF is not trained")
+        if not tokens:
+            return []
+        feats = self._encode(extract_features(tokens))
+        K = len(self._tags)
+        em = np.zeros((len(feats), K))
+        for t, idx in enumerate(feats):
+            if idx.size:
+                em[t] = self._w_emit[idx].sum(axis=0)
+        path = viterbi_decode(em, self._w_trans, self._w_start)
+        return [self._tags[i] for i in path]
+
+    def tag_phrase(self, tokens: list[str] | tuple[str, ...]) -> TaggedPhrase:
+        """Tag tokens and wrap in a :class:`TaggedPhrase`."""
+        return TaggedPhrase(tuple(tokens), tuple(self.predict(tokens)))

@@ -1,0 +1,152 @@
+"""Feature templates for the sequence taggers.
+
+The templates mirror Stanford NER's default ingredient-scale feature
+set: token identity, orthographic shape, affixes, neighbouring tokens,
+and small domain lexicons (units, sizes, temperatures, dry/fresh and
+state words).  Features are plain strings — both the CRF and the
+perceptron index them the same way.
+"""
+
+from __future__ import annotations
+
+import re
+
+_NUM_RE = re.compile(r"^\d+(\.\d+)?$")
+_FRACTION_RE = re.compile(r"^\d+/\d+$")
+
+#: Lexicons: cheap, high-precision cues.  The learners can override
+#: them from context ("500 g or 1 cup" teaches that "cup" after "or"
+#: may be part of an alternative measure).
+UNIT_WORDS: frozenset[str] = frozenset(
+    {
+        "cup", "cups", "tablespoon", "tablespoons", "tbsp", "tbsps",
+        "tbs", "teaspoon", "teaspoons", "tsp", "tsps",
+        "ounce", "ounces", "oz", "pound", "pounds",
+        "lb", "lbs", "gram", "grams", "g", "kg", "ml", "l", "liter",
+        "litre", "pint", "pints", "quart", "quarts", "gallon", "gallons",
+        "pinch", "pinches", "dash", "dashes", "clove", "cloves", "slice",
+        "slices", "stick", "sticks", "can", "cans", "package", "packages",
+        "packet", "packets", "jar", "jars", "bottle", "bottles", "bunch",
+        "bunches", "head", "heads", "stalk", "stalks", "sprig", "sprigs",
+        "piece", "pieces", "fillet", "fillets", "loaf", "loaves", "leaf",
+        "leaves", "ear", "ears", "envelope", "envelopes", "container",
+        "drop", "drops", "cube", "cubes", "strip", "strips", "wedge",
+        "wedges", "scoop", "scoops", "box", "boxes", "bag", "bags",
+        "carton", "cartons", "pat", "pats", "fl", "fluid",
+    }
+)
+
+SIZE_WORDS: frozenset[str] = frozenset(
+    {"small", "medium", "large", "extra-large", "jumbo", "big", "little"}
+)
+
+TEMP_WORDS: frozenset[str] = frozenset(
+    {"cold", "hot", "warm", "chilled", "frozen", "iced", "lukewarm",
+     "room-temperature", "boiling"}
+)
+
+DF_WORDS: frozenset[str] = frozenset({"dry", "dried", "fresh", "freshly"})
+
+STATE_WORDS: frozenset[str] = frozenset(
+    {
+        "chopped", "minced", "diced", "sliced", "grated", "ground",
+        "crushed", "shredded", "peeled", "seeded", "halved", "quartered",
+        "cubed", "julienned", "mashed", "pureed", "beaten", "whisked",
+        "melted", "softened", "cooked", "uncooked", "boiled", "steamed",
+        "roasted", "toasted", "grilled", "fried", "baked", "smoked",
+        "cured", "pitted", "stemmed", "trimmed", "rinsed", "drained",
+        "pressed", "hulled", "deveined", "flaked", "warmed", "soaked",
+        "washed", "packed", "sifted", "divided", "separated", "crumbled",
+        "torn", "cut", "split", "thawed", "defrosted", "scalded",
+        "hard-cooked", "hard-boiled", "soft-boiled", "lean",
+    }
+)
+
+
+def word_shape(token: str) -> str:
+    """Collapse a token to its orthographic shape.
+
+    >>> word_shape("Onion")
+    'Xx'
+    >>> word_shape("1/2")
+    'd/d'
+    >>> word_shape("all-purpose")
+    'x-x'
+    """
+    shape: list[str] = []
+    for ch in token:
+        if ch.isdigit():
+            cls = "d"
+        elif ch.isalpha():
+            cls = "X" if ch.isupper() else "x"
+        else:
+            cls = ch
+        if not shape or shape[-1] != cls:
+            shape.append(cls)
+    return "".join(shape)
+
+
+def token_features(tokens: list[str] | tuple[str, ...], i: int) -> list[str]:
+    """Features for position *i* of the token sequence."""
+    token = tokens[i]
+    lower = token.lower()
+    feats = [
+        f"w={lower}",
+        f"shape={word_shape(token)}",
+        f"suf2={lower[-2:]}",
+        f"suf3={lower[-3:]}",
+        f"pre2={lower[:2]}",
+        f"pre3={lower[:3]}",
+    ]
+    if _NUM_RE.match(token):
+        feats.append("is_number")
+    if _FRACTION_RE.match(token):
+        feats.append("is_fraction")
+    if not any(c.isalnum() for c in token):
+        feats.append("is_punct")
+    if "-" in token:
+        feats.append("has_hyphen")
+    if lower in UNIT_WORDS:
+        feats.append("lex=unit")
+    if lower in SIZE_WORDS:
+        feats.append("lex=size")
+    if lower in TEMP_WORDS:
+        feats.append("lex=temp")
+    if lower in DF_WORDS:
+        feats.append("lex=df")
+    if lower in STATE_WORDS:
+        feats.append("lex=state")
+    if lower.endswith("ed"):
+        feats.append("suffix_ed")
+    if lower.endswith("ing"):
+        feats.append("suffix_ing")
+    if lower.endswith("ly"):
+        feats.append("suffix_ly")
+    if i == 0:
+        feats.append("BOS")
+    else:
+        prev = tokens[i - 1].lower()
+        feats.append(f"w-1={prev}")
+        feats.append(f"shape-1={word_shape(tokens[i - 1])}")
+        if prev in UNIT_WORDS:
+            feats.append("prev_lex=unit")
+        if _NUM_RE.match(tokens[i - 1]) or _FRACTION_RE.match(tokens[i - 1]):
+            feats.append("prev_is_number")
+    if i == len(tokens) - 1:
+        feats.append("EOS")
+    else:
+        nxt = tokens[i + 1].lower()
+        feats.append(f"w+1={nxt}")
+        if nxt in UNIT_WORDS:
+            feats.append("next_lex=unit")
+    if i >= 2:
+        feats.append(f"w-2={tokens[i - 2].lower()}")
+    if i + 2 < len(tokens):
+        feats.append(f"w+2={tokens[i + 2].lower()}")
+    return feats
+
+
+def extract_features(tokens: list[str] | tuple[str, ...]) -> list[list[str]]:
+    """Per-token feature lists for a whole phrase."""
+    toks = list(tokens)
+    return [token_features(toks, i) for i in range(len(toks))]

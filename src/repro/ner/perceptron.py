@@ -1,0 +1,130 @@
+"""Averaged structured perceptron tagger.
+
+Collins (2002) structured perceptron with weight averaging: decode the
+full sequence with Viterbi, and on mistakes promote gold features /
+demote predicted features.  Same feature space and decoder as the CRF,
+an order of magnitude faster to train — the pipeline's default tagger.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import defaultdict
+
+import numpy as np
+
+from repro.ner.corpus import TAGS, TaggedPhrase
+from repro.ner.features import extract_features
+from repro.ner.viterbi import viterbi_decode
+
+
+class AveragedPerceptronTagger:
+    """Structured perceptron with averaging over all updates."""
+
+    def __init__(self, tags: tuple[str, ...] = TAGS, seed: int = 13):
+        self._tags = tags
+        self._tag_index = {t: i for i, t in enumerate(tags)}
+        self._seed = seed
+        self._weights: dict[tuple[str, int], float] = defaultdict(float)
+        self._transitions = np.zeros((len(tags), len(tags)))
+        self._start = np.zeros(len(tags))
+        self._trained = False
+
+    @property
+    def tags(self) -> tuple[str, ...]:
+        return self._tags
+
+    def train(
+        self,
+        phrases: list[TaggedPhrase],
+        epochs: int = 5,
+    ) -> None:
+        """Fit on gold phrases with *epochs* shuffled passes."""
+        if not phrases:
+            raise ValueError("empty training corpus")
+        if epochs <= 0:
+            raise ValueError(f"epochs must be positive, got {epochs}")
+        rng = random.Random(self._seed)
+        K = len(self._tags)
+
+        # Accumulators for averaging: total = Σ (value at each step).
+        # We use the standard lazy trick: keep last-update timestamps.
+        acc_w: dict[tuple[str, int], float] = defaultdict(float)
+        ts_w: dict[tuple[str, int], int] = defaultdict(int)
+        acc_trans = np.zeros((K, K))
+        ts_trans = np.zeros((K, K), dtype=np.int64)
+        acc_start = np.zeros(K)
+        ts_start = np.zeros(K, dtype=np.int64)
+        step = 0
+
+        def bump_w(key: tuple[str, int], delta: float) -> None:
+            acc_w[key] += self._weights[key] * (step - ts_w[key])
+            ts_w[key] = step
+            self._weights[key] += delta
+
+        data = [
+            (extract_features(p.tokens), [self._tag_index[t] for t in p.tags])
+            for p in phrases
+        ]
+        for _ in range(epochs):
+            order = list(range(len(data)))
+            rng.shuffle(order)
+            for idx in order:
+                feats, gold = data[idx]
+                step += 1
+                pred = self._decode_indices(feats)
+                if pred == gold:
+                    continue
+                for i, (g, p) in enumerate(zip(gold, pred)):
+                    if g != p:
+                        for f in feats[i]:
+                            bump_w((f, g), +1.0)
+                            bump_w((f, p), -1.0)
+                # Transition / start updates (full-path contrast).
+                acc_start += self._start * (step - ts_start)
+                ts_start[:] = step
+                self._start[gold[0]] += 1.0
+                self._start[pred[0]] -= 1.0
+                acc_trans += self._transitions * (step - ts_trans)
+                ts_trans[:, :] = step
+                for i in range(1, len(gold)):
+                    self._transitions[gold[i - 1], gold[i]] += 1.0
+                    self._transitions[pred[i - 1], pred[i]] -= 1.0
+
+        # Finalize averages.
+        step += 1
+        for key, value in self._weights.items():
+            acc_w[key] += value * (step - ts_w[key])
+        acc_trans += self._transitions * (step - ts_trans)
+        acc_start += self._start * (step - ts_start)
+        self._weights = defaultdict(
+            float, {k: v / step for k, v in acc_w.items() if v}
+        )
+        self._transitions = acc_trans / step
+        self._start = acc_start / step
+        self._trained = True
+
+    def _emissions(self, feats: list[list[str]]) -> np.ndarray:
+        K = len(self._tags)
+        em = np.zeros((len(feats), K))
+        for i, token_feats in enumerate(feats):
+            for f in token_feats:
+                for k in range(K):
+                    w = self._weights.get((f, k))
+                    if w:
+                        em[i, k] += w
+        return em
+
+    def _decode_indices(self, feats: list[list[str]]) -> list[int]:
+        return viterbi_decode(self._emissions(feats), self._transitions, self._start)
+
+    def predict(self, tokens: list[str] | tuple[str, ...]) -> list[str]:
+        """Tag a token sequence."""
+        if not tokens:
+            return []
+        feats = extract_features(tokens)
+        return [self._tags[i] for i in self._decode_indices(feats)]
+
+    def tag_phrase(self, tokens: list[str] | tuple[str, ...]) -> TaggedPhrase:
+        """Tag tokens and wrap in a :class:`TaggedPhrase`."""
+        return TaggedPhrase(tuple(tokens), tuple(self.predict(tokens)))

@@ -1,0 +1,117 @@
+"""Deterministic lexicon-based tagger.
+
+Serves two roles:
+
+* a baseline the learned taggers must beat (ablation benchmark), and
+* a fallback for pipelines that skip NER training entirely.
+
+Rules (applied per token with light context):
+
+1. numbers/fractions -> QUANTITY,
+2. unit lexicon after a QUANTITY (or anywhere) -> UNIT,
+3. size lexicon -> SIZE, temperature lexicon -> TEMP,
+4. dry/fresh lexicon -> DF,
+5. state lexicon (participles) -> STATE,
+6. punctuation, adverbs and instruction words -> O,
+7. everything else -> NAME.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.ner.corpus import TaggedPhrase
+from repro.ner.features import (
+    DF_WORDS,
+    SIZE_WORDS,
+    STATE_WORDS,
+    TEMP_WORDS,
+    UNIT_WORDS,
+)
+
+_NUM_RE = re.compile(r"^\d+(\.\d+)?$|^\d+/\d+$")
+
+#: Words that are part of instructions, not entities.
+_INSTRUCTION_WORDS: frozenset[str] = frozenset(
+    {
+        "finely", "coarsely", "thinly", "thickly", "roughly", "freshly",
+        "lightly", "well", "very", "into", "for", "taste", "serving",
+        "garnish", "needed", "desired", "optional", "plus", "divided",
+        "about", "approximately", "more", "if", "as", "and", "or", "to",
+        "of", "the", "a", "an", "at", "room", "temperature", "your",
+        "such", "like", "preferably",
+    }
+)
+
+
+class RuleBasedTagger:
+    """Context-light rule tagger over the paper's tag set."""
+
+    def predict(self, tokens: list[str] | tuple[str, ...]) -> list[str]:
+        """Tag a token sequence with deterministic rules."""
+        tags: list[str] = []
+        for i, token in enumerate(tokens):
+            lower = token.lower()
+            if _NUM_RE.match(token):
+                tags.append("QUANTITY")
+            elif not any(c.isalnum() for c in token):
+                tags.append("O")
+            elif lower in UNIT_WORDS:
+                tags.append("UNIT")
+            elif lower in SIZE_WORDS:
+                tags.append("SIZE")
+            elif lower in TEMP_WORDS:
+                tags.append("TEMP")
+            elif lower in DF_WORDS:
+                tags.append("DF")
+            elif lower in STATE_WORDS or self._hyphen_state(lower):
+                tags.append("STATE")
+            elif lower in _INSTRUCTION_WORDS:
+                tags.append("O")
+            else:
+                tags.append("NAME")
+        return self._repair(list(tokens), tags)
+
+    def _hyphen_state(self, lower: str) -> bool:
+        """hard-cooked, oven-roasted … any hyphenated participle."""
+        return "-" in lower and lower.rsplit("-", 1)[-1] in STATE_WORDS
+
+    def _repair(self, tokens: list[str], tags: list[str]) -> list[str]:
+        """Context fixes the per-token rules cannot see.
+
+        * "fl"/"fluid" + "oz"/"ounce" both become UNIT.
+        * Packaging parentheticals — "1 (15 ounce) can" — carry a size
+          annotation, not the measure: QUANTITY/UNIT tags inside
+          parentheses are reset to O.
+        * A UNIT in a phrase containing no numeric token at all is
+          more likely part of the name ("garlic clove" with no
+          quantity stays NAME).
+        """
+        has_number = any(_NUM_RE.match(t) for t in tokens)
+        out = list(tags)
+        for i, token in enumerate(tokens):
+            if token.lower() in ("fl", "fluid") and i + 1 < len(tokens) and tokens[
+                i + 1
+            ].lower() in ("oz", "ounce", "ounces"):
+                out[i] = "UNIT"
+                out[i + 1] = "UNIT"
+        depth = 0
+        for i, token in enumerate(tokens):
+            if token == "(":
+                depth += 1
+            elif token == ")":
+                depth = max(0, depth - 1)
+            elif depth > 0 and out[i] in ("QUANTITY", "UNIT"):
+                out[i] = "O"
+        # Range dashes join their quantities: "2 - 4" is one QUANTITY.
+        for i in range(1, len(tokens) - 1):
+            if (tokens[i] == "-" and out[i - 1] == "QUANTITY"
+                    and out[i + 1] == "QUANTITY"):
+                out[i] = "QUANTITY"
+        if not has_number:
+            out = ["NAME" if t == "UNIT" else t for t in out]
+        return out
+
+    def tag_phrase(self, tokens: list[str] | tuple[str, ...]) -> TaggedPhrase:
+        """Tag tokens and wrap in a :class:`TaggedPhrase`."""
+        return TaggedPhrase(tuple(tokens), tuple(self.predict(tokens)))

@@ -1,0 +1,34 @@
+"""RecipeDB substrate: a synthetic recipe corpus with ground truth.
+
+The paper consumes RecipeDB — 118,071 recipes scraped from AllRecipes
+and FOOD.com.  Offline, this subpackage generates a deterministic
+corpus with the same observable properties (noisy free-text ingredient
+phrases across 26 regional cuisines, alias units, ranges, packaging
+parentheticals, "or" alternatives, trailing instructions) *plus* exact
+ground truth per phrase: the true NER tags, the true USDA food and the
+true gram weight.  Ground truth is what lets every §III number be
+scored without the paper's manual audits.
+"""
+
+from repro.recipedb.corpus import load_recipes_jsonl, save_recipes_jsonl
+from repro.recipedb.generator import GeneratorConfig, RecipeGenerator
+from repro.recipedb.ingredients import INGREDIENTS, IngredientSpec, spec_by_key
+from repro.recipedb.cuisines import CUISINES
+from repro.recipedb.model import GroundTruth, Ingredient, Recipe
+from repro.recipedb.phrases import PIROSZHKI_PHRASES, PIROSZHKI_TABLE_I
+
+__all__ = [
+    "load_recipes_jsonl",
+    "save_recipes_jsonl",
+    "GeneratorConfig",
+    "RecipeGenerator",
+    "INGREDIENTS",
+    "IngredientSpec",
+    "spec_by_key",
+    "CUISINES",
+    "GroundTruth",
+    "Ingredient",
+    "Recipe",
+    "PIROSZHKI_PHRASES",
+    "PIROSZHKI_TABLE_I",
+]

@@ -1,0 +1,84 @@
+"""JSONL persistence for generated recipe corpora."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.ner.corpus import TaggedPhrase
+from repro.recipedb.model import GroundTruth, Ingredient, Recipe
+
+
+def _ingredient_to_dict(ingredient: Ingredient) -> dict:
+    return {
+        "text": ingredient.text,
+        "tokens": list(ingredient.tagged.tokens),
+        "tags": list(ingredient.tagged.tags),
+        "truth": {
+            "spec_key": ingredient.truth.spec_key,
+            "ndb_no": ingredient.truth.ndb_no,
+            "grams": ingredient.truth.grams,
+            "kcal": ingredient.truth.kcal,
+        },
+    }
+
+
+def _ingredient_from_dict(data: dict) -> Ingredient:
+    truth = data["truth"]
+    return Ingredient(
+        text=data["text"],
+        tagged=TaggedPhrase(tuple(data["tokens"]), tuple(data["tags"])),
+        truth=GroundTruth(
+            spec_key=truth["spec_key"],
+            ndb_no=truth["ndb_no"],
+            grams=truth["grams"],
+            kcal=truth["kcal"],
+        ),
+    )
+
+
+def save_recipes_jsonl(recipes: list[Recipe], path: str | Path) -> None:
+    """Write one JSON object per line."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as fh:
+        for recipe in recipes:
+            fh.write(
+                json.dumps(
+                    {
+                        "recipe_id": recipe.recipe_id,
+                        "title": recipe.title,
+                        "cuisine": recipe.cuisine,
+                        "source": recipe.source,
+                        "servings": recipe.servings,
+                        "gold_calories_per_serving": recipe.gold_calories_per_serving,
+                        "ingredients": [
+                            _ingredient_to_dict(i) for i in recipe.ingredients
+                        ],
+                    }
+                )
+                + "\n"
+            )
+
+
+def load_recipes_jsonl(path: str | Path) -> list[Recipe]:
+    """Inverse of :func:`save_recipes_jsonl`."""
+    recipes: list[Recipe] = []
+    with Path(path).open(encoding="utf-8") as fh:
+        for line in fh:
+            if not line.strip():
+                continue
+            data = json.loads(line)
+            recipes.append(
+                Recipe(
+                    recipe_id=data["recipe_id"],
+                    title=data["title"],
+                    cuisine=data["cuisine"],
+                    source=data["source"],
+                    servings=data["servings"],
+                    ingredients=tuple(
+                        _ingredient_from_dict(i) for i in data["ingredients"]
+                    ),
+                    gold_calories_per_serving=data["gold_calories_per_serving"],
+                )
+            )
+    return recipes

@@ -1,0 +1,183 @@
+"""26 regional cuisines and their ingredient pools.
+
+The paper notes RecipeDB "has a global coverage, spanning 26 regional
+cuisines" and that region-centric ingredients (garam masala) drive the
+unmapped residue.  Pools reference ingredient-spec keys; staples are
+mixed into every cuisine.
+"""
+
+from __future__ import annotations
+
+#: Ingredients nearly every recipe may use, regardless of cuisine.
+STAPLES: tuple[str, ...] = (
+    "salt", "black_pepper", "olive_oil", "vegetable_oil", "butter",
+    "water", "sugar", "flour", "garlic", "onion", "egg",
+)
+
+CUISINES: dict[str, tuple[str, ...]] = {
+    "Indian": (
+        "garam_masala", "paneer", "curry_leaves", "fenugreek_leaves",
+        "asafoetida", "turmeric", "cumin_ground", "coriander_ground",
+        "cayenne", "ginger", "red_lentils", "chickpeas_dry", "basmati?rice",
+        "rice", "yogurt", "tomato", "green_chile", "cilantro",
+        "coconut_milk", "mustard_ground", "split_peas", "potato",
+        "cauliflower", "spinach", "buffalo_milk",
+    ),
+    "Chinese": (
+        "soy_sauce", "sesame_oil", "ginger", "scallion", "bok_choy",
+        "bamboo_shoots", "water_chestnuts", "bean_sprouts", "rice",
+        "cooked_rice", "chicken_breast", "ground_pork", "shrimp",
+        "cornstarch", "white_pepper", "mushrooms", "tofu", "egg_noodles",
+        "cabbage", "carrot", "peanut_oil",
+    ),
+    "Japanese": (
+        "mirin", "nori", "miso_paste", "soy_sauce", "short_grain_rice",
+        "tofu", "scallion", "ginger", "sesame_seeds", "salmon",
+        "cucumber", "shiitake?mushrooms", "mushrooms", "sesame_oil",
+        "sugar", "egg",
+    ),
+    "Korean": (
+        "gochujang", "gochugaru", "soy_sauce", "sesame_oil", "garlic",
+        "scallion", "ginger", "short_grain_rice", "cabbage", "tofu",
+        "ground_beef", "flank_steak", "sesame_seeds", "cucumber",
+        "carrot", "bean_sprouts",
+    ),
+    "Thai": (
+        "lemongrass", "kaffir_lime", "galangal", "tamarind", "palm_sugar",
+        "coconut_milk", "cilantro", "lime_juice", "lime", "jalapeno",
+        "shrimp", "chicken_thigh", "rice", "peanuts", "basil_fresh",
+        "green_beans", "soy_sauce",
+    ),
+    "Vietnamese": (
+        "lemongrass", "cilantro", "mint", "lime_juice", "rice",
+        "bean_sprouts", "carrot", "cucumber", "shrimp", "pork_loin",
+        "scallion", "jalapeno", "soy_sauce", "peanuts", "sugar",
+    ),
+    "Filipino": (
+        "soy_sauce", "white_vinegar", "garlic", "bay_leaf", "pork_shoulder",
+        "chicken_thigh", "rice", "scallion", "ginger", "tomato",
+        "green_beans", "coconut_milk", "black_pepper",
+    ),
+    "Indonesian": (
+        "coconut_milk", "peanut_butter", "soy_sauce", "tamarind", "ginger",
+        "lemongrass", "rice", "chicken_breast", "shrimp", "cucumber",
+        "peanuts", "palm_sugar", "green_beans", "cayenne",
+    ),
+    "Middle Eastern": (
+        "tahini", "chickpeas", "lemon_juice", "cumin_ground", "parsley_fresh",
+        "mint", "bulgur", "couscous", "ground_lamb", "leg_of_lamb",
+        "eggplant", "tomato", "cucumber", "yogurt", "pita", "fava_beans",
+        "cilantro", "cinnamon", "pine_nuts", "olive_oil",
+    ),
+    "Turkish": (
+        "ground_lamb", "yogurt", "eggplant", "tomato_paste", "bulgur",
+        "mint", "parsley_fresh", "red_pepper", "cayenne", "pine_nuts",
+        "lemon_juice", "feta", "honey", "phyllo", "walnuts",
+    ),
+    "Greek": (
+        "feta", "olive_oil", "lemon_juice", "oregano", "mint", "yogurt",
+        "cucumber", "tomato", "eggplant", "ground_lamb", "phyllo",
+        "spinach", "black_olives", "dill_fresh", "honey", "walnuts",
+        "red_wine",
+    ),
+    "Italian": (
+        "parmesan", "mozzarella", "ricotta", "olive_oil", "basil_fresh",
+        "oregano", "marinara", "crushed_tomatoes", "tomato_paste", "pasta",
+        "italian_sausage", "ground_beef", "red_wine", "white_wine",
+        "pine_nuts", "balsamic", "pepperoni", "anchovy", "capers",
+        "zucchini", "eggplant", "mushrooms",
+    ),
+    "French": (
+        "butter", "heavy_cream", "white_wine", "red_wine", "shallot",
+        "thyme_fresh", "bay_leaf", "leek", "mushrooms", "gruyere?swiss_cheese",
+        "swiss_cheese", "brie", "chicken_breast", "egg", "flour",
+        "tarragon?thyme_fresh", "dijon?mustard_prepared", "mustard_prepared",
+        "french_bread", "lemon_juice",
+    ),
+    "Spanish": (
+        "olive_oil", "paprika", "chorizo", "shrimp", "short_grain_rice",
+        "tomato", "red_pepper", "green_pepper", "garlic", "white_wine",
+        "chicken_thigh", "peas", "lemon", "parsley_fresh", "almonds",
+    ),
+    "Portuguese": (
+        "cod", "olive_oil", "potato", "kale", "chorizo", "garlic",
+        "bay_leaf", "paprika", "white_wine", "tomato", "cilantro",
+        "white_beans", "egg",
+    ),
+    "German": (
+        "pork_loin", "bacon", "cabbage", "red_cabbage", "potato",
+        "caraway?cumin", "cumin", "mustard_prepared", "cider_vinegar",
+        "beer", "frankfurter", "egg_noodles", "sour_cream", "dill_fresh",
+        "brown_sugar", "apple",
+    ),
+    "British": (
+        "potato", "peas", "cod", "white_bread", "cheddar", "butter",
+        "heavy_cream", "bacon", "ground_beef", "carrot", "leek",
+        "worcestershire", "raisins", "milk", "mustard_ground",
+    ),
+    "Irish": (
+        "potato", "cabbage", "bacon", "leg_of_lamb", "stew_beef", "carrot",
+        "leek", "butter", "buttermilk", "beer", "wheat_flour", "parsley_fresh",
+        "turnip",
+    ),
+    "Scandinavian": (
+        "salmon", "dill_fresh", "sour_cream", "potato", "cucumber",
+        "white_vinegar", "rye?wheat_bread", "wheat_bread", "butter",
+        "cardamom?cinnamon", "cinnamon", "lingonberry?cranberries",
+        "cranberries", "beet", "egg",
+    ),
+    "Russian": (
+        "beet", "cabbage", "potato", "sour_cream", "dill_fresh",
+        "ground_beef", "hard_cooked_egg", "light_sour_cream", "carrot",
+        "pickle", "white_vinegar", "butter", "flour", "egg_noodles",
+        "mushrooms", "bay_leaf",
+    ),
+    "Eastern European": (
+        "cabbage", "potato", "sour_cream", "paprika", "ground_pork",
+        "onion", "carrot", "dill_fresh", "pickle", "caraway?cumin",
+        "cumin", "egg_noodles", "ground_beef", "white_vinegar", "bacon",
+    ),
+    "Mexican": (
+        "corn_tortillas", "flour_tortillas", "black_beans", "pinto_beans",
+        "refried_beans", "jalapeno", "serrano", "cilantro", "lime_juice",
+        "salsa", "cumin_ground", "chili_powder", "avocado", "tomato",
+        "ground_beef", "chicken_breast", "cheddar", "monterey", "corn",
+        "green_chile", "chorizo",
+    ),
+    "Caribbean": (
+        "allspice?cloves_ground", "cloves_ground", "coconut_milk",
+        "kidney_beans", "rice", "lime_juice", "thyme_dried", "scallion",
+        "jalapeno", "chicken_thigh", "sweet_potato", "banana", "mango",
+        "pineapple", "ginger", "cayenne", "brown_sugar",
+    ),
+    "South American": (
+        "corn", "black_beans", "quinoa", "cilantro", "lime_juice",
+        "avocado", "tomato", "red_pepper", "flank_steak", "ground_beef",
+        "cumin_ground", "paprika", "potato", "peanuts", "cornmeal",
+        "parsley_fresh",
+    ),
+    "American": (
+        "ground_beef", "cheddar", "bacon", "ketchup", "mayonnaise",
+        "mustard_prepared", "hamburger_buns", "ranch", "iceberg",
+        "tomato", "potato", "corn", "chicken_breast", "barbecue_sauce",
+        "cream_of_mushroom", "cream_of_chicken", "tuna", "saltines",
+        "chocolate_chips", "brown_sugar", "vanilla", "baking_soda",
+        "baking_powder", "oats", "peanut_butter", "maple_syrup",
+        "marshmallows", "hot_sauce", "white_bread", "milk",
+    ),
+    "Canadian": (
+        "maple_syrup", "bacon", "potato", "cheddar", "butter", "oats",
+        "salmon", "peas", "white_bread", "brown_sugar", "cranberries",
+        "milk", "mushrooms", "ground_pork",
+    ),
+}
+
+# Entries of the form "alias?speckey" document a regional ingredient we
+# approximate with another spec; strip them to the real key.
+CUISINES = {
+    cuisine: tuple(k.split("?", 1)[-1] for k in keys)
+    for cuisine, keys in CUISINES.items()
+}
+
+if len(CUISINES) != 26:
+    raise RuntimeError(f"expected 26 cuisines, found {len(CUISINES)}")

@@ -1,0 +1,114 @@
+"""The Piroszhki (Little Russian Pastries) phrases of the paper's Table I.
+
+The twelve ingredient phrases appear verbatim, with gold tags encoding
+the paper's own extraction decisions (e.g. adverbs like "finely" and
+the "freshly ground" trailing instruction are untagged; the butter /
+margarine alternative keeps only the first name).
+"""
+
+from __future__ import annotations
+
+from repro.ner.corpus import TaggedPhrase
+
+
+def _tp(pairs: list[tuple[str, str]]) -> TaggedPhrase:
+    tokens, tags = zip(*pairs)
+    return TaggedPhrase(tokens, tags)
+
+
+#: (raw phrase, gold tagging, Table-I expected columns)
+#: Expected columns: name, state, quantity, unit, temperature,
+#: dry/fresh, size — empty string where Table I shows a blank.
+PIROSZHKI_TABLE_I: tuple[
+    tuple[str, TaggedPhrase, dict[str, str]], ...
+] = (
+    (
+        "1/2 lb lean ground beef",
+        _tp([("1/2", "QUANTITY"), ("lb", "UNIT"), ("lean", "STATE"),
+             ("ground", "STATE"), ("beef", "NAME")]),
+        {"name": "beef", "state": "ground lean", "quantity": "1/2",
+         "unit": "lb", "temp": "", "df": "", "size": ""},
+    ),
+    (
+        "1 small onion , finely chopped",
+        _tp([("1", "QUANTITY"), ("small", "SIZE"), ("onion", "NAME"),
+             (",", "O"), ("finely", "O"), ("chopped", "STATE")]),
+        {"name": "onion", "state": "chopped", "quantity": "1",
+         "unit": "", "temp": "", "df": "", "size": "small"},
+    ),
+    (
+        "1 hard-cooked egg , finely chopped",
+        _tp([("1", "QUANTITY"), ("hard-cooked", "STATE"), ("egg", "NAME"),
+             (",", "O"), ("finely", "O"), ("chopped", "STATE")]),
+        {"name": "egg", "state": "hard-cooked chopped", "quantity": "1",
+         "unit": "", "temp": "", "df": "", "size": ""},
+    ),
+    (
+        "1 tablespoon fresh dill weed",
+        _tp([("1", "QUANTITY"), ("tablespoon", "UNIT"), ("fresh", "DF"),
+             ("dill", "NAME"), ("weed", "NAME")]),
+        {"name": "dill weed", "state": "", "quantity": "1",
+         "unit": "tablespoon", "temp": "", "df": "fresh", "size": ""},
+    ),
+    (
+        "1/2 teaspoon salt ,freshly ground",
+        _tp([("1/2", "QUANTITY"), ("teaspoon", "UNIT"), ("salt", "NAME"),
+             (",", "O"), ("freshly", "O"), ("ground", "O")]),
+        {"name": "salt", "state": "", "quantity": "1/2",
+         "unit": "teaspoon", "temp": "", "df": "", "size": ""},
+    ),
+    (
+        "1/8 teaspoon black pepper,minced",
+        _tp([("1/8", "QUANTITY"), ("teaspoon", "UNIT"), ("black", "NAME"),
+             ("pepper", "NAME"), (",", "O"), ("minced", "O")]),
+        {"name": "black pepper", "state": "", "quantity": "1/8",
+         "unit": "teaspoon", "temp": "", "df": "", "size": ""},
+    ),
+    (
+        "3/4 cup butter or 3/4 cup margarine , softened",
+        _tp([("3/4", "QUANTITY"), ("cup", "UNIT"), ("butter", "NAME"),
+             ("or", "O"), ("3/4", "O"), ("cup", "O"), ("margarine", "O"),
+             (",", "O"), ("softened", "STATE")]),
+        {"name": "butter", "state": "softened", "quantity": "3/4",
+         "unit": "cup", "temp": "", "df": "", "size": ""},
+    ),
+    (
+        "2 cups all-purpose flour",
+        _tp([("2", "QUANTITY"), ("cups", "UNIT"), ("all-purpose", "NAME"),
+             ("flour", "NAME")]),
+        {"name": "all-purpose flour", "state": "", "quantity": "2",
+         "unit": "cups", "temp": "", "df": "", "size": ""},
+    ),
+    (
+        "1 teaspoon salt",
+        _tp([("1", "QUANTITY"), ("teaspoon", "UNIT"), ("salt", "NAME")]),
+        {"name": "salt", "state": "", "quantity": "1",
+         "unit": "teaspoon", "temp": "", "df": "", "size": ""},
+    ),
+    (
+        "1/2 cup low-fat sour cream",
+        _tp([("1/2", "QUANTITY"), ("cup", "UNIT"), ("low-fat", "STATE"),
+             ("sour", "STATE"), ("cream", "NAME")]),
+        {"name": "cream", "state": "sour low fat", "quantity": "1/2",
+         "unit": "cup", "temp": "", "df": "", "size": ""},
+    ),
+    (
+        "1 egg yolk",
+        _tp([("1", "QUANTITY"), ("egg", "NAME"), ("yolk", "NAME")]),
+        {"name": "egg yolk", "state": "", "quantity": "1",
+         "unit": "", "temp": "", "df": "", "size": ""},
+    ),
+    (
+        "1 tablespoon cold water",
+        _tp([("1", "QUANTITY"), ("tablespoon", "UNIT"), ("cold", "TEMP"),
+             ("water", "NAME")]),
+        {"name": "cold water", "state": "", "quantity": "1",
+         "unit": "tablespoon", "temp": "cold", "df": "", "size": ""},
+    ),
+)
+
+#: Just the raw phrases, in Table I order.
+PIROSZHKI_PHRASES: tuple[str, ...] = tuple(p for p, _, _ in PIROSZHKI_TABLE_I)
+
+#: Gold taggings, in Table I order.
+PIROSZHKI_GOLD: tuple[TaggedPhrase, ...] = tuple(t for _, t, _ in PIROSZHKI_TABLE_I)

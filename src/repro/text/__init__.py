@@ -1,0 +1,28 @@
+"""Text-processing substrate: tokenization, lemmatization, quantities, POS.
+
+This subpackage replaces the NLP utilities the paper takes from NLTK
+(WordNet lemmatizer, stop words, POS tagging) with self-contained,
+deterministic implementations tuned for the recipe/nutrition vocabulary.
+"""
+
+from repro.text.lemmatizer import WordNetStyleLemmatizer, lemmatize
+from repro.text.negation import rewrite_negations
+from repro.text.pos import CoarsePOSTagger, pos_tags, tag_frequency_vector
+from repro.text.quantity import parse_quantity, QuantityParseError
+from repro.text.stopwords import STOP_WORDS, remove_stop_words
+from repro.text.tokenize import tokenize, word_tokens
+
+__all__ = [
+    "WordNetStyleLemmatizer",
+    "lemmatize",
+    "rewrite_negations",
+    "CoarsePOSTagger",
+    "pos_tags",
+    "tag_frequency_vector",
+    "parse_quantity",
+    "QuantityParseError",
+    "STOP_WORDS",
+    "remove_stop_words",
+    "tokenize",
+    "word_tokens",
+]

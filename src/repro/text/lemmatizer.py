@@ -1,0 +1,293 @@
+"""A WordNet-style English lemmatizer built from rules and exceptions.
+
+The paper lemmatizes both ingredient names and unit strings with NLTK's
+WordNet lemmatizer and explicitly rejects stemmers as too aggressive
+("berries" must become "berry", not "berri").  This module reproduces
+the observable behaviour of WordNet's morphological analyzer on the
+recipe/nutrition vocabulary: an exception list for irregular forms plus
+the standard detachment rules, with a guard list of lemmas that merely
+*look* inflected ("molasses", "couscous", "swiss").
+
+Only noun and verb morphology are implemented because ingredient
+matching and unit normalization never need adjective/adverb lemmas.
+"""
+
+from __future__ import annotations
+
+# Irregular noun plurals (WordNet noun.exc extract, restricted to forms
+# plausible in food text, plus a few recipe-specific entries).
+NOUN_EXCEPTIONS: dict[str, str] = {
+    "children": "child",
+    "feet": "foot",
+    "geese": "goose",
+    "halves": "half",
+    "knives": "knife",
+    "leaves": "leaf",
+    "lives": "life",
+    "loaves": "loaf",
+    "men": "man",
+    "mice": "mouse",
+    "calves": "calf",
+    "oxen": "ox",
+    "people": "person",
+    "shelves": "shelf",
+    "teeth": "tooth",
+    "wives": "wife",
+    "women": "woman",
+    "potatoes": "potato",
+    "tomatoes": "tomato",
+    "mangoes": "mango",
+    "jalapenos": "jalapeno",
+    "anchovies": "anchovy",
+    "wolves": "wolf",
+}
+
+# Words ending in s (or other plural-looking suffixes) that are already
+# lemmas.  Stripping the suffix from these would corrupt matching:
+# "molasses" -> "molasse" would never match the USDA description.
+UNINFLECTED: frozenset[str] = frozenset(
+    {
+        "molasses",
+        "couscous",
+        "hummus",
+        "asparagus",
+        "swiss",
+        "citrus",
+        "grits",
+        "bass",
+        "brass",
+        "gras",  # foie gras
+        "watercress",
+        "cress",
+        "moss",
+        "glass",
+        "grass",
+        "less",
+        "class",
+        "press",
+        "process",
+        "cos",  # cos lettuce
+        "schnapps",
+        "chips",  # treated as a dish name (fish and chips)
+        "is",
+        "was",
+        "has",
+        "this",
+        "us",
+        "plus",
+        "minus",
+        "always",
+        "perhaps",
+        "octopus",
+        "us",
+        "gas",
+        "express",
+    }
+)
+
+# Noun detachment rules in WordNet order: (suffix, replacement).
+_NOUN_RULES: tuple[tuple[str, str], ...] = (
+    ("ches", "ch"),
+    ("shes", "sh"),
+    ("sses", "ss"),
+    ("xes", "x"),
+    ("zes", "z"),
+    ("ies", "y"),
+    ("ves", "f"),
+    ("oes", "o"),
+    ("s", ""),
+)
+
+# Irregular verb forms (WordNet verb.exc extract for cooking verbs).
+VERB_EXCEPTIONS: dict[str, str] = {
+    "beaten": "beat",
+    "began": "begin",
+    "begun": "begin",
+    "bought": "buy",
+    "broken": "break",
+    "brought": "bring",
+    "cut": "cut",
+    "done": "do",
+    "drawn": "draw",
+    "dried": "dry",
+    "froze": "freeze",
+    "frozen": "freeze",
+    "ground": "grind",
+    "held": "hold",
+    "kept": "keep",
+    "left": "leave",
+    "lay": "lie",
+    "laid": "lay",
+    "made": "make",
+    "melted": "melt",
+    "put": "put",
+    "risen": "rise",
+    "rose": "rise",
+    "set": "set",
+    "shaken": "shake",
+    "shook": "shake",
+    "shredded": "shred",
+    "slit": "slit",
+    "spread": "spread",
+    "taken": "take",
+    "took": "take",
+    "torn": "tear",
+    "went": "go",
+}
+
+_VERB_RULES: tuple[tuple[str, str], ...] = (
+    ("ies", "y"),
+    ("es", "e"),
+    ("es", ""),
+    ("ed", "e"),
+    ("ed", ""),
+    ("ing", "e"),
+    ("ing", ""),
+    ("s", ""),
+)
+
+# A compact noun vocabulary used to validate candidate lemmas produced
+# by detachment rules.  WordNet validates against its full lexicon; we
+# validate against the food-domain vocabulary assembled lazily from the
+# USDA database plus this seed set.  Unknown candidates fall back to the
+# shortest rule result, mirroring WordNet's behaviour of returning the
+# form unchanged when no rule yields a known lemma.
+_SEED_NOUNS: frozenset[str] = frozenset(
+    {
+        "apple", "apricot", "artichoke", "avocado", "banana", "batch",
+        "bean", "beet", "berry", "biscuit", "blackberry", "blueberry",
+        "box", "breast", "broth", "brush", "bunch", "cake", "can",
+        "carrot", "cherry", "chicken", "chickpea", "chili", "chive",
+        "clove", "cookie", "cranberry", "cup", "dash", "date", "dish",
+        "dumpling", "egg", "fig", "fillet", "flake", "gallon", "glass",
+        "grape", "gram", "inch", "jar", "kilogram", "kiss", "leaf",
+        "leek", "lemon", "lentil", "lime", "liter", "litre", "loaf",
+        "lunch", "mango", "milliliter", "mushroom", "noodle", "nut",
+        "oat", "olive", "onion", "ounce", "package", "packet", "pat",
+        "patch", "pea", "peach", "pear", "pecan", "pepper", "piece",
+        "pinch", "pint", "pistachio", "pita", "plum", "potato", "pound",
+        "quart", "radish", "raisin", "raspberry", "rib", "sandwich",
+        "sausage", "scallion", "scoop", "seed", "shake", "shallot",
+        "sheet", "shrimp", "slice", "sprig", "sprout", "squash",
+        "stalk", "stick", "strawberry", "strip", "tablespoon",
+        "teaspoon", "thigh", "tomato", "tortilla", "turnip", "walnut",
+        "wedge", "wing", "yolk", "zucchini", "spice", "herb", "stock",
+        "chop", "roast", "steak", "drumstick", "floret", "kernel",
+        "grain", "crumb", "chunk", "cube", "ring", "half", "quarter",
+        "third", "smoothie", "sauce", "syrup", "paste", "puree",
+        "vegetable", "fruit", "cheese", "milk", "butter", "cream",
+        "yogurt", "bread", "flour", "sugar", "salt", "water", "oil",
+        "vinegar", "juice", "wine", "beer", "tea", "coffee", "rice",
+        "pasta", "soup", "salad", "serving", "drop", "bottle", "bag",
+        "head", "ear", "bulb", "envelope", "container", "carton",
+        "fluid", "link", "bar", "square", "round", "filet", "food",
+        "product", "solid", "variety", "curd", "spray",
+    }
+)
+
+
+class WordNetStyleLemmatizer:
+    """Rule-plus-exception lemmatizer mimicking NLTK's ``WordNetLemmatizer``.
+
+    Parameters
+    ----------
+    extra_vocabulary:
+        Additional known lemmas (e.g. every word appearing in the USDA
+        database) used to validate candidates produced by detachment
+        rules.  Candidates found in the vocabulary win over raw rule
+        output, which is exactly how WordNet prefers lexicon entries.
+    """
+
+    def __init__(self, extra_vocabulary: frozenset[str] | set[str] | None = None):
+        self._vocab = set(_SEED_NOUNS)
+        if extra_vocabulary:
+            self._vocab.update(w.lower() for w in extra_vocabulary)
+
+    def add_vocabulary(self, words: set[str] | frozenset[str]) -> None:
+        """Register additional known lemmas for rule validation."""
+        self._vocab.update(w.lower() for w in words)
+
+    def lemmatize(self, word: str, pos: str = "n") -> str:
+        """Return the lemma of *word* for part of speech *pos* ('n' or 'v').
+
+        Unknown parts of speech raise ``ValueError`` to surface caller
+        bugs instead of silently returning the surface form.
+        """
+        if pos == "n":
+            return self._lemmatize_noun(word)
+        if pos == "v":
+            return self._lemmatize_verb(word)
+        raise ValueError(f"unsupported part of speech: {pos!r}")
+
+    def __call__(self, word: str, pos: str = "n") -> str:
+        return self.lemmatize(word, pos)
+
+    def _lemmatize_noun(self, word: str) -> str:
+        lower = word.lower()
+        if len(lower) <= 2 or lower in UNINFLECTED or lower in self._vocab and not lower.endswith("s"):
+            # Short tokens ("as", "is") and guarded lemmas pass through.
+            if lower in NOUN_EXCEPTIONS:
+                return NOUN_EXCEPTIONS[lower]
+            if lower in UNINFLECTED or len(lower) <= 2:
+                return lower
+        if lower in NOUN_EXCEPTIONS:
+            return NOUN_EXCEPTIONS[lower]
+        if not lower.endswith("s"):
+            return lower
+        if lower.endswith("ss") or lower.endswith("us") or lower.endswith("is"):
+            return lower
+        candidates: list[str] = []
+        for suffix, repl in _NOUN_RULES:
+            if lower.endswith(suffix) and len(lower) > len(suffix) + 1:
+                candidates.append(lower[: -len(suffix)] + repl)
+        for cand in candidates:
+            if cand in self._vocab:
+                return cand
+        # No lexicon match: fall back to plain s-stripping, the most
+        # conservative rule, provided some rule applied at all.
+        if candidates:
+            if lower.endswith("ies"):
+                return lower[:-3] + "y"
+            if lower.endswith(("ches", "shes", "sses", "xes", "zes")):
+                return lower[:-2]
+            return lower[:-1]
+        return lower
+
+    def _lemmatize_verb(self, word: str) -> str:
+        lower = word.lower()
+        if lower in VERB_EXCEPTIONS:
+            return VERB_EXCEPTIONS[lower]
+        for suffix, repl in _VERB_RULES:
+            if lower.endswith(suffix) and len(lower) > len(suffix) + 1:
+                cand = lower[: -len(suffix)] + repl
+                if cand in self._vocab:
+                    return cand
+        # Conservative default rules when nothing validates.
+        if lower.endswith("ing") and len(lower) > 4:
+            stem = lower[:-3]
+            if len(stem) > 2 and stem[-1] == stem[-2]:  # chopping -> chop
+                return stem[:-1]
+            return stem
+        if lower.endswith("ed") and len(lower) > 3:
+            stem = lower[:-2]
+            if len(stem) > 2 and stem[-1] == stem[-2]:  # chopped -> chop
+                return stem[:-1]
+            if stem.endswith(("c", "s", "v", "z", "g", "u")):  # diced -> dice
+                return stem + "e"
+            return stem
+        if lower.endswith("s") and not lower.endswith(("ss", "us", "is")):
+            return self._lemmatize_noun(lower)
+        return lower
+
+
+_DEFAULT = WordNetStyleLemmatizer()
+
+
+def lemmatize(word: str, pos: str = "n") -> str:
+    """Lemmatize with the module-level default lemmatizer."""
+    return _DEFAULT.lemmatize(word, pos)
+
+
+def default_lemmatizer() -> WordNetStyleLemmatizer:
+    """Return the shared module-level lemmatizer instance."""
+    return _DEFAULT

@@ -1,0 +1,85 @@
+"""Negation rewriting (paper §II-B heuristic (f)).
+
+"unsalted butter" must match the USDA description "Butter, without
+salt".  The paper replaces all negation terms and negating prefixes
+("un" in "unsalted") with the token ``not``, after which both strings
+contain the word pair {not, salt} and Jaccard matching succeeds.
+
+Three negation shapes are handled:
+
+* standalone negation words: ``without``, ``no``, ``non`` -> ``not``
+* negating prefixes on a known base: ``unsalted`` -> ``not salted``,
+  ``nonfat`` -> ``not fat``
+* negating suffixes: ``fat-free``/``fatfree`` -> ``fat not`` (order is
+  irrelevant to set-based matching), ``sugarless`` -> ``sugar not``
+
+Prefix stripping is guarded by a vocabulary of bases actually seen in
+food text so that "union", "uncle" or "nonpareil" are never mangled.
+"""
+
+from __future__ import annotations
+
+NEGATION_WORDS: frozenset[str] = frozenset({"without", "no", "non", "not"})
+
+# Bases that legitimately occur negated in ingredient phrases or USDA
+# descriptions.  "unsalted" -> not + salted; "uncooked" -> not + cooked.
+_UN_BASES: frozenset[str] = frozenset(
+    {
+        "salted", "sweetened", "cooked", "bleached", "peeled", "seasoned",
+        "flavored", "flavoured", "ripe", "ripened", "filtered", "refined",
+        "processed", "pasteurized", "enriched", "toasted", "baked",
+        "drained", "cured", "smoked", "dyed", "frosted", "shelled",
+        "skinned", "trimmed", "washed", "waxed",
+    }
+)
+
+_NON_BASES: frozenset[str] = frozenset(
+    {"fat", "dairy", "stick", "alcoholic", "hydrogenated", "iodized"}
+)
+
+_FREE_BASES: frozenset[str] = frozenset(
+    {
+        "fat", "sugar", "salt", "sodium", "gluten", "lactose", "caffeine",
+        "cholesterol", "dairy", "alcohol", "egg", "nut", "oil",
+    }
+)
+
+_LESS_BASES: frozenset[str] = frozenset(
+    {"sugar", "salt", "seed", "skin", "bone", "fat", "rind", "pit", "stem"}
+)
+
+
+def rewrite_negations(words: list[str]) -> list[str]:
+    """Rewrite negation words/affixes in a token list to explicit ``not``.
+
+    >>> rewrite_negations(["unsalted", "butter"])
+    ['not', 'salted', 'butter']
+    >>> rewrite_negations(["butter", "without", "salt"])
+    ['butter', 'not', 'salt']
+    >>> rewrite_negations(["fat", "free", "yogurt"])
+    ['fat', 'not', 'yogurt']
+    """
+    out: list[str] = []
+    for i, raw in enumerate(words):
+        word = raw.lower()
+        if word in NEGATION_WORDS:
+            out.append("not")
+            continue
+        if word == "free" and out and out[-1] in _FREE_BASES:
+            # "fat free" -> "fat not"
+            out.append("not")
+            continue
+        if word.startswith("un") and word[2:] in _UN_BASES:
+            out.extend(["not", word[2:]])
+            continue
+        if word.startswith("non") and word[3:] in _NON_BASES:
+            out.extend(["not", word[3:]])
+            continue
+        if word.endswith("free") and word[:-4].rstrip("-") in _FREE_BASES:
+            out.extend([word[:-4].rstrip("-"), "not"])
+            continue
+        if word.endswith("less") and word[:-4] in _LESS_BASES:
+            out.extend([word[:-4], "not"])
+            continue
+        out.append(word)
+    return out

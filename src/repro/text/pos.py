@@ -1,0 +1,120 @@
+"""Coarse part-of-speech tagging for ingredient phrases.
+
+The paper uses POS tagging only to build a *tag-frequency vector* per
+ingredient phrase; those vectors are clustered (k-means) and the
+annotation corpus is sampled from every cluster so that training and
+test sets cover the diversity of RecipeDB phrases (§II-A).  A coarse,
+deterministic lexicon + suffix tagger is sufficient for that purpose —
+the vectors only need to separate phrase *shapes* ("QTY UNIT NAME" vs
+"QTY NAME , STATE STATE" vs "NAME to taste").
+"""
+
+from __future__ import annotations
+
+import re
+
+import numpy as np
+
+# The coarse tagset, fixed and ordered so tag-frequency vectors are
+# comparable across phrases.
+TAGSET: tuple[str, ...] = (
+    "CD",    # cardinal number / fraction
+    "NN",    # singular noun
+    "NNS",   # plural noun
+    "JJ",    # adjective
+    "VBN",   # past participle (chopped, minced)
+    "VBG",   # gerund (cooking)
+    "RB",    # adverb (finely, freshly)
+    "IN",    # preposition (of, into)
+    "CC",    # conjunction (or, and)
+    "DT",    # determiner (a, the)
+    "PUNCT", # punctuation
+    "SYM",   # other symbols / unknown
+)
+
+_NUMBER_RE = re.compile(r"^\d+(\.\d+)?$|^\d+/\d+$")
+
+# Small closed-class lexicon.
+_LEXICON: dict[str, str] = {
+    "of": "IN", "into": "IN", "in": "IN", "with": "IN", "for": "IN",
+    "to": "IN", "at": "IN", "on": "IN", "from": "IN", "without": "IN",
+    "or": "CC", "and": "CC", "plus": "CC",
+    "a": "DT", "an": "DT", "the": "DT", "each": "DT", "some": "DT",
+    "more": "JJ", "taste": "NN", "needed": "VBN", "desired": "VBN",
+    "optional": "JJ",
+}
+
+# Common food adjectives that do not carry -y/-ed/-ing morphology.
+_ADJECTIVES: frozenset[str] = frozenset(
+    {
+        "fresh", "dry", "dried", "large", "small", "medium", "hot",
+        "cold", "warm", "sweet", "sour", "ripe", "raw", "lean", "fat",
+        "low", "whole", "ground", "extra", "light", "dark", "thick",
+        "thin", "fine", "coarse", "mild", "plain", "stale", "firm",
+        "soft", "crisp", "tender", "boneless", "skinless", "unsalted",
+        "salted", "sweetened", "unsweetened", "frozen", "canned",
+        "instant", "quick", "heavy", "sharp", "red", "green", "yellow",
+        "white", "black", "brown", "purple", "golden", "new", "baby",
+        "wild", "virgin", "kosher", "sea", "free", "reduced", "nonfat",
+    }
+)
+
+
+class CoarsePOSTagger:
+    """Deterministic lexicon + suffix POS tagger over :data:`TAGSET`."""
+
+    def tag(self, tokens: list[str]) -> list[tuple[str, str]]:
+        """Tag each token; returns ``[(token, tag), ...]``.
+
+        >>> CoarsePOSTagger().tag(["1", "small", "onion"])
+        [('1', 'CD'), ('small', 'JJ'), ('onion', 'NN')]
+        """
+        return [(tok, self.tag_word(tok)) for tok in tokens]
+
+    def tag_word(self, token: str) -> str:
+        """Tag a single token."""
+        if not token:
+            return "SYM"
+        if _NUMBER_RE.match(token):
+            return "CD"
+        if not any(c.isalnum() for c in token):
+            return "PUNCT"
+        lower = token.lower()
+        if lower in _LEXICON:
+            return _LEXICON[lower]
+        if lower in _ADJECTIVES:
+            return "JJ"
+        base = lower.split("-")[-1] if "-" in lower else lower
+        if base.endswith("ly"):
+            return "RB"
+        if base.endswith("ing") and len(base) > 4:
+            return "VBG"
+        if base.endswith("ed") and len(base) > 3:
+            return "VBN"
+        if "-" in lower:  # hard-cooked handled above; all-purpose etc.
+            return "JJ"
+        if base.endswith("s") and not base.endswith(("ss", "us", "is")) and len(base) > 3:
+            return "NNS"
+        return "NN"
+
+
+_DEFAULT = CoarsePOSTagger()
+
+
+def pos_tags(tokens: list[str]) -> list[str]:
+    """Tag *tokens* with the default tagger, returning tags only."""
+    return [tag for _, tag in _DEFAULT.tag(tokens)]
+
+
+def tag_frequency_vector(tokens: list[str]) -> np.ndarray:
+    """Frequency vector of POS tags for a phrase (paper §II-A).
+
+    The vector has one component per tag in :data:`TAGSET`, holding the
+    count of that tag in the phrase.  These vectors feed the k-means
+    clustering used to pick diverse annotation samples.
+    """
+    vec = np.zeros(len(TAGSET), dtype=float)
+    index = {tag: i for i, tag in enumerate(TAGSET)}
+    for tag in pos_tags(tokens):
+        vec[index[tag]] += 1.0
+    return vec

@@ -1,0 +1,44 @@
+"""Stop words for description matching.
+
+The matching pipeline (paper §II-B) removes stop words from both the
+ingredient phrase and the USDA food description before computing the
+Jaccard index.  Two domain constraints shape this list:
+
+* ``not`` must NOT be a stop word — negation rewriting (§II-B(f)) turns
+  "unsalted"/"without salt" into "not salt", and that "not" must survive
+  into the word set so it can match the rewritten description.
+* quantity/unit words never reach the matcher (NER strips them), so the
+  list stays close to a standard English list minus negations.
+"""
+
+from __future__ import annotations
+
+STOP_WORDS: frozenset[str] = frozenset(
+    {
+        "a", "about", "above", "after", "again", "all", "also", "am",
+        "an", "and", "any", "are", "as", "at", "be", "because", "been",
+        "before", "being", "below", "between", "both", "but", "by",
+        "can", "could", "did", "do", "does", "doing", "down", "during",
+        "each", "few", "for", "from", "further", "had", "has", "have",
+        "having", "he", "her", "here", "hers", "him", "his", "how", "i",
+        "if", "in", "into", "is", "it", "its", "itself", "just", "me",
+        "more", "most", "my", "myself", "now", "of", "off", "on",
+        "once", "only", "or", "other", "our", "ours", "out", "over",
+        "own", "per", "same", "she", "should", "so", "some", "such",
+        "than", "that", "the", "their", "theirs", "them", "then",
+        "there", "these", "they", "this", "those", "through", "to",
+        "too", "under", "until", "up", "very", "was", "we", "were",
+        "what", "when", "where", "which", "while", "who", "whom", "why",
+        "will", "with", "you", "your", "yours",
+    }
+)
+# Deliberately absent: "not", "no", "non", "without" (negation carriers).
+
+
+def remove_stop_words(words: list[str]) -> list[str]:
+    """Filter stop words from a token list, preserving order.
+
+    >>> remove_stop_words(["butter", "with", "salt"])
+    ['butter', 'salt']
+    """
+    return [w for w in words if w.lower() not in STOP_WORDS]

@@ -1,0 +1,34 @@
+"""Unit matching substrate (paper §II-C).
+
+Pipeline: raw unit string -> :func:`normalize_unit` (lemmatize, first
+word, alphabetic regex) -> canonical unit via the alias table ->
+gram weight via the food's SR portions, deriving missing volume units
+through the Book-of-Yields conversion tables.
+"""
+
+from repro.units.aliases import CANONICAL_UNITS, canonicalize_unit
+from repro.units.conversions import (
+    MASS_GRAMS,
+    VOLUME_ML,
+    is_mass_unit,
+    is_volume_unit,
+    volume_ratio,
+)
+from repro.units.gram_weights import UnitResolution, UnitResolver
+from repro.units.normalize import normalize_unit
+from repro.units.fallback import UnitFallback, scan_for_unit
+
+__all__ = [
+    "CANONICAL_UNITS",
+    "canonicalize_unit",
+    "MASS_GRAMS",
+    "VOLUME_ML",
+    "is_mass_unit",
+    "is_volume_unit",
+    "volume_ratio",
+    "UnitResolution",
+    "UnitResolver",
+    "normalize_unit",
+    "UnitFallback",
+    "scan_for_unit",
+]

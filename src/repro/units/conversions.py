@@ -1,0 +1,101 @@
+"""Measurement conversion tables (paper §II-C, after The Book of Yields).
+
+"measurement conversion tables were created with detailed conversions
+between units on the basis of volume ... The tables mention conversions
+such as '1 cup' is equivalent to '16 tbsp' and '48 tsp' and so on."
+
+US customary kitchen measures.  Volumes are stored in milliliters and
+masses in grams so any two units of the same kind convert through a
+single ratio.
+"""
+
+from __future__ import annotations
+
+#: Volume units in milliliters per 1 unit.
+VOLUME_ML: dict[str, float] = {
+    "drop": 0.0513,
+    "dash": 0.6161,
+    "pinch": 0.3080,
+    "teaspoon": 4.92892,
+    "tablespoon": 14.78676,
+    "fluid ounce": 29.5735,
+    "cup": 236.588,
+    "pint": 473.176,
+    "quart": 946.353,
+    "gallon": 3785.41,
+    "milliliter": 1.0,
+    "liter": 1000.0,
+}
+
+#: Mass units in grams per 1 unit.
+MASS_GRAMS: dict[str, float] = {
+    "gram": 1.0,
+    "kilogram": 1000.0,
+    "ounce": 28.3495,
+    "pound": 453.592,
+}
+
+#: Human-readable Book-of-Yields-style equivalences (documentation and
+#: the examples use these; derived from VOLUME_ML).
+EQUIVALENCE_TABLE: tuple[str, ...] = (
+    "1 gallon = 4 quarts = 8 pints = 16 cups",
+    "1 cup = 16 tablespoons = 48 teaspoons = 8 fluid ounces",
+    "1 tablespoon = 3 teaspoons = 1/2 fluid ounce",
+    "1 pound = 16 ounces = 453.592 grams",
+    "1 liter = 1000 milliliters = 4.2268 cups",
+)
+
+
+def is_volume_unit(unit: str) -> bool:
+    """True if *unit* (canonical name) measures volume."""
+    return unit in VOLUME_ML
+
+
+def is_mass_unit(unit: str) -> bool:
+    """True if *unit* (canonical name) measures mass."""
+    return unit in MASS_GRAMS
+
+
+def volume_ratio(unit_a: str, unit_b: str) -> float:
+    """How many *unit_b* fit in one *unit_a* (both volumes).
+
+    >>> round(volume_ratio("cup", "tablespoon"), 3)
+    16.0
+    >>> round(volume_ratio("cup", "teaspoon"), 3)
+    48.0
+
+    Raises
+    ------
+    KeyError
+        If either unit is not a volume unit.
+    """
+    return VOLUME_ML[unit_a] / VOLUME_ML[unit_b]
+
+
+def mass_grams(unit: str) -> float:
+    """Grams in one *unit* (canonical mass unit).
+
+    Raises ``KeyError`` for non-mass units.
+    """
+    return MASS_GRAMS[unit]
+
+
+def convert(amount: float, from_unit: str, to_unit: str) -> float:
+    """Convert *amount* between two units of the same kind.
+
+    >>> convert(2.0, "cup", "tablespoon")
+    32.0
+
+    Raises
+    ------
+    ValueError
+        If the units are of different kinds (volume vs mass) or unknown.
+    """
+    if is_volume_unit(from_unit) and is_volume_unit(to_unit):
+        return amount * volume_ratio(from_unit, to_unit)
+    if is_mass_unit(from_unit) and is_mass_unit(to_unit):
+        return amount * MASS_GRAMS[from_unit] / MASS_GRAMS[to_unit]
+    raise ValueError(
+        f"cannot convert between {from_unit!r} and {to_unit!r}: "
+        "different or unknown measurement kinds"
+    )

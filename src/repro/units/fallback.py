@@ -1,0 +1,84 @@
+"""Unit fallback heuristics (paper §II-C, last two paragraphs).
+
+Three recovery mechanisms for phrases where NER produced no unit or a
+garbled one:
+
+* :func:`scan_for_unit` — "In certain cases NER did not detect units,
+  in that scenario we searched the ingredient phrase for known units".
+* :meth:`UnitFallback.plausible` — "'500 g or 1 cup' which the NER
+  wrongly detected as '500 cups'.  This was dealt ... by putting a
+  threshold on the quantity per unit."
+* :meth:`UnitFallback.most_frequent_unit` — "wherever a unit was still
+  not present, the most frequent unit for that particular ingredient
+  was used ... for garlic ... it would most probably be clove."
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+
+from repro.text.tokenize import tokenize
+from repro.units.aliases import canonicalize_unit
+from repro.units.normalize import normalize_unit
+
+#: Above this many grams, a (quantity, unit) pair for a single
+#: ingredient line is implausible and treated as a mis-detection.  The
+#: biggest legitimate single-ingredient amounts in recipes (a gallon of
+#: water ~3.8 kg, 5 lb of flour ~2.3 kg) stay under it.
+DEFAULT_MAX_GRAMS: float = 5000.0
+
+
+def scan_for_unit(phrase: str) -> str | None:
+    """Find the first known unit token inside a raw ingredient phrase.
+
+    >>> scan_for_unit("500 g flour or 1 cup")
+    'gram'
+    """
+    for token in tokenize(phrase):
+        if not token.isalpha():
+            continue
+        unit = normalize_unit(token)
+        if unit is not None and canonicalize_unit(token.lower()) is not None:
+            return unit
+    return None
+
+
+class UnitFallback:
+    """Corpus-level unit statistics per ingredient name.
+
+    Feed every successfully resolved (ingredient name, unit) pair with
+    :meth:`observe`; query :meth:`most_frequent_unit` when a later
+    phrase for the same ingredient lacks a unit.  "This works well to
+    maintain consistency in the data since we have a lot of units
+    corresponding to each ingredient, but only a few of them are
+    dominant."
+    """
+
+    def __init__(self, max_grams: float = DEFAULT_MAX_GRAMS):
+        if max_grams <= 0:
+            raise ValueError(f"non-positive max_grams: {max_grams}")
+        self._max_grams = max_grams
+        self._counts: dict[str, Counter[str]] = defaultdict(Counter)
+
+    def observe(self, ingredient: str, unit: str) -> None:
+        """Record one resolved unit usage for *ingredient*."""
+        self._counts[ingredient.lower()][unit] += 1
+
+    def most_frequent_unit(self, ingredient: str) -> str | None:
+        """Dominant unit for *ingredient*, or ``None`` if never seen."""
+        counts = self._counts.get(ingredient.lower())
+        if not counts:
+            return None
+        return counts.most_common(1)[0][0]
+
+    def plausible(self, quantity: float, grams_per_unit: float) -> bool:
+        """Sanity threshold on total grams for one ingredient line."""
+        return 0 < quantity * grams_per_unit <= self._max_grams
+
+    def observed_ingredients(self) -> list[str]:
+        """All ingredient names with at least one observation."""
+        return sorted(self._counts)
+
+    def unit_distribution(self, ingredient: str) -> dict[str, int]:
+        """Unit -> count for *ingredient* (empty dict if unseen)."""
+        return dict(self._counts.get(ingredient.lower(), {}))

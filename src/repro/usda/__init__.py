@@ -1,0 +1,28 @@
+"""USDA Standard Reference (SR) nutrient-database substrate.
+
+The paper resolves ingredient names against the USDA-SR database.  This
+subpackage provides:
+
+* :mod:`repro.usda.schema` — ``FoodItem`` / ``Portion`` records shaped
+  like SR's FOOD_DES + NUT_DATA + WEIGHT tables,
+* :mod:`repro.usda.nutrients` — the nutrient panel tracked per food,
+* :mod:`repro.usda.database` — an indexed in-memory ``NutrientDatabase``,
+* :mod:`repro.usda.loader` — parsers for the SR ``^``-delimited ASCII
+  release format and a JSON round-trip,
+* :mod:`repro.usda.data` — an embedded curated SR subset containing all
+  foods named in the paper's Tables II–IV plus the common-ingredient
+  coverage needed by the recipe corpus.
+"""
+
+from repro.usda.database import NutrientDatabase, load_default_database
+from repro.usda.nutrients import NUTRIENTS, NutrientDef
+from repro.usda.schema import FoodItem, Portion
+
+__all__ = [
+    "NutrientDatabase",
+    "load_default_database",
+    "NUTRIENTS",
+    "NutrientDef",
+    "FoodItem",
+    "Portion",
+]

@@ -1,0 +1,67 @@
+"""Embedded curated USDA-SR subset.
+
+Modules are concatenated in SR food-group-number order (01 dairy/egg …
+21 fast foods) so that :meth:`NutrientDatabase.index_of` reproduces
+SR's indexing — the tie-break resource of the paper's heuristic (i).
+"""
+
+from __future__ import annotations
+
+from repro.usda.schema import FoodItem
+
+from repro.usda.data import (
+    babyfood,
+    baked,
+    beef,
+    beverages,
+    breakfast_cereals,
+    dairy_eggs,
+    fast_foods,
+    fats_oils,
+    fish,
+    fruits,
+    grains_pasta,
+    lamb,
+    legumes,
+    nuts_seeds,
+    pork,
+    poultry,
+    sausages_luncheon,
+    soups_sauces,
+    spices_herbs,
+    sweets,
+    vegetables,
+)
+
+#: Data modules in SR food-group-number order.
+_MODULES = (
+    dairy_eggs,          # 01
+    spices_herbs,        # 02
+    babyfood,            # 03
+    fats_oils,           # 04
+    poultry,             # 05
+    soups_sauces,        # 06
+    sausages_luncheon,   # 07
+    breakfast_cereals,   # 08
+    fruits,              # 09
+    pork,                # 10
+    vegetables,          # 11
+    nuts_seeds,          # 12
+    beef,                # 13
+    beverages,           # 14
+    fish,                # 15
+    legumes,             # 16
+    lamb,                # 17
+    baked,               # 18
+    sweets,              # 19
+    grains_pasta,        # 20
+    fast_foods,          # 21
+)
+
+
+def all_foods() -> list[FoodItem]:
+    """Every curated food, in SR index order."""
+    foods: list[FoodItem] = []
+    for module in _MODULES:
+        foods.extend(module.FOODS)
+    return foods

@@ -1,0 +1,58 @@
+"""Helpers for the embedded curated SR data modules.
+
+Each data module declares rows with the compact :func:`F` constructor:
+
+    F("01001", "Butter, salted", GROUP,
+      (717, 0.85, 81.11, 0.06, 0.0, 0.06, 24, 0.02, 643, 0.0, 215, 51.368),
+      P(1.0, 'pat (1" sq, 1/3" high)', 5.0),
+      P(1.0, "tbsp", 14.2))
+
+The nutrient tuple follows :data:`repro.usda.nutrients.NUTRIENT_KEYS`
+order — (energy kcal, protein g, fat g, carbohydrate g, fiber g,
+sugar g, calcium mg, iron mg, sodium mg, vitamin C mg, cholesterol mg,
+saturated fat g) per 100 g — with ``None`` for missing analyses.
+Portion sequence numbers are assigned from declaration order, mirroring
+SR's WEIGHT.Seq.
+"""
+
+from __future__ import annotations
+
+from repro.usda.nutrients import NUTRIENT_KEYS
+from repro.usda.schema import FoodItem, Portion
+
+
+def P(amount: float, unit: str, grams: float) -> tuple[float, str, float]:
+    """Declare one household portion: (amount, unit description, grams)."""
+    if grams <= 0:
+        raise ValueError(f"non-positive portion grams: {grams} for {unit!r}")
+    return (amount, unit, grams)
+
+
+def F(
+    ndb_no: str,
+    description: str,
+    food_group: str,
+    nutrient_values: tuple[float | None, ...],
+    *portions: tuple[float, str, float],
+) -> FoodItem:
+    """Build a :class:`FoodItem` from a compact data row."""
+    if len(nutrient_values) != len(NUTRIENT_KEYS):
+        raise ValueError(
+            f"{ndb_no} {description!r}: expected {len(NUTRIENT_KEYS)} nutrient "
+            f"values, got {len(nutrient_values)}"
+        )
+    nutrients = {
+        key: float(value)
+        for key, value in zip(NUTRIENT_KEYS, nutrient_values)
+        if value is not None
+    }
+    return FoodItem(
+        ndb_no=ndb_no,
+        description=description,
+        food_group=food_group,
+        nutrients=nutrients,
+        portions=tuple(
+            Portion(seq=i + 1, amount=amount, unit=unit, grams=grams)
+            for i, (amount, unit, grams) in enumerate(portions)
+        ),
+    )

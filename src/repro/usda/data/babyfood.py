@@ -1,0 +1,20 @@
+"""Curated SR subset — food group 03: Baby Foods.
+
+"Babyfood, apples, dices, toddler" appears in the paper's heuristic (h)
+as the collision that sequential-priority resolution must lose against
+"Apples, raw, with skin" (the word "apples" sits at term 2 here versus
+term 1 there).
+"""
+
+from repro.usda.data._build import F, P
+
+GROUP = "Baby Foods"
+
+FOODS = [
+    F("03243", "Babyfood, apples, dices, toddler", GROUP,
+      (53, 0.21, 0.21, 12.7, 1.4, 10.7, 4, 0.16, 13, 25.7, 0, 0.034),
+      P(1.0, "cup", 114.0)),
+    F("03167", "Babyfood, carrots, toddler", GROUP,
+      (30, 0.82, 0.15, 6.5, 2.1, 3.0, 26, 0.35, 57, 4.9, 0, 0.025),
+      P(1.0, "cup", 122.0)),
+]

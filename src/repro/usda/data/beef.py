@@ -1,0 +1,63 @@
+"""Curated SR subset — food group 13: Beef Products.
+
+The 80% / 85% / 90% lean ground-beef triplet exercises the matcher's
+handling of "lean ground beef" from the Piroszhki recipe (Table I row
+1: name "beef", state "ground lean").
+"""
+
+from repro.usda.data._build import F, P
+
+GROUP = "Beef Products"
+
+FOODS = [
+    F("13047",
+      "Beef, ground, 80% lean meat / 20% fat, raw", GROUP,
+      (254, 17.17, 20.0, 0.0, 0.0, 0.0, 18, 1.94, 67, 0.0, 71, 7.587),
+      P(1.0, "lb", 453.6),
+      P(1.0, "oz", 28.35),
+      P(1.0, "patty (4 oz, raw)", 113.0)),
+    F("13048",
+      "Beef, ground, 85% lean meat / 15% fat, raw", GROUP,
+      (215, 18.59, 15.0, 0.0, 0.0, 0.0, 15, 2.09, 66, 0.0, 68, 5.875),
+      P(1.0, "lb", 453.6),
+      P(1.0, "oz", 28.35),
+      P(1.0, "patty (4 oz, raw)", 113.0)),
+    F("13049",
+      "Beef, ground, 90% lean meat / 10% fat, raw", GROUP,
+      (176, 20.0, 10.0, 0.0, 0.0, 0.0, 12, 2.24, 66, 0.0, 65, 4.099),
+      P(1.0, "lb", 453.6),
+      P(1.0, "oz", 28.35),
+      P(1.0, "patty (4 oz, raw)", 113.0)),
+    F("13050",
+      "Beef, chuck, arm pot roast, separable lean and fat, "
+      "trimmed to 1/8\" fat, raw", GROUP,
+      (244, 18.5, 18.4, 0.0, 0.0, 0.0, 16, 1.97, 62, 0.0, 72, 7.4),
+      P(1.0, "lb", 453.6),
+      P(1.0, "oz", 28.35)),
+    F("13065",
+      "Beef, flank, steak, separable lean and fat, trimmed to 0\" fat, raw",
+      GROUP,
+      (141, 21.2, 5.7, 0.0, 0.0, 0.0, 22, 1.6, 56, 0.0, 58, 2.37),
+      P(1.0, "lb", 453.6),
+      P(1.0, "oz", 28.35),
+      P(1.0, "steak", 386.0)),
+    F("13336",
+      "Beef, chuck for stew, separable lean and fat, raw", GROUP,
+      (128, 20.5, 4.6, 0.0, 0.0, 0.0, 14, 2.18, 69, 0.0, 62, 1.8),
+      P(1.0, "lb", 453.6),
+      P(1.0, "oz", 28.35)),
+    F("13458",
+      "Beef, tenderloin, separable lean and fat, trimmed to 1/8\" fat, raw",
+      GROUP,
+      (247, 17.9, 19.1, 0.0, 0.0, 0.0, 14, 1.9, 52, 0.0, 71, 7.6),
+      P(1.0, "lb", 453.6),
+      P(1.0, "oz", 28.35),
+      P(1.0, "steak", 163.0)),
+    F("13364",
+      "Beef, round, top round, separable lean and fat, "
+      "trimmed to 1/8\" fat, raw", GROUP,
+      (191, 21.3, 11.1, 0.0, 0.0, 0.0, 13, 1.9, 54, 0.0, 62, 4.3),
+      P(1.0, "lb", 453.6),
+      P(1.0, "oz", 28.35),
+      P(1.0, "steak", 368.0)),
+]

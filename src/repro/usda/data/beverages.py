@@ -1,0 +1,52 @@
+"""Curated SR subset — food group 14: Beverages.
+
+"Beverages, water, tap, drinking" resolves the Piroszhki "1 tablespoon
+cold water" phrase (Table I row 12).
+"""
+
+from repro.usda.data._build import F, P
+
+GROUP = "Beverages"
+
+FOODS = [
+    F("14003", "Alcoholic beverage, beer, regular, all", GROUP,
+      (43, 0.46, 0.0, 3.55, 0.0, 0.0, 4, 0.02, 4, 0.0, 0, 0.0),
+      P(1.0, "can or bottle (12 fl oz)", 356.0),
+      P(1.0, "fl oz", 29.7),
+      P(1.0, "cup", 237.0)),
+    F("14096", "Alcoholic beverage, wine, table, red", GROUP,
+      (85, 0.07, 0.0, 2.61, 0.0, 0.62, 8, 0.46, 4, 0.0, 0, 0.0),
+      P(1.0, "serving (5 fl oz)", 147.0),
+      P(1.0, "fl oz", 29.4),
+      P(1.0, "cup", 235.0)),
+    F("14106", "Alcoholic beverage, wine, table, white", GROUP,
+      (82, 0.07, 0.0, 2.6, 0.0, 0.96, 9, 0.27, 5, 0.0, 0, 0.0),
+      P(1.0, "serving (5 fl oz)", 147.0),
+      P(1.0, "fl oz", 29.4),
+      P(1.0, "cup", 235.0)),
+    F("14209",
+      "Beverages, coffee, brewed, prepared with tap water", GROUP,
+      (1, 0.12, 0.02, 0.0, 0.0, 0.0, 2, 0.01, 2, 0.0, 0, 0.002),
+      P(1.0, "cup (8 fl oz)", 237.0),
+      P(1.0, "fl oz", 29.6)),
+    F("14355", "Beverages, tea, black, brewed", GROUP,
+      (1, 0.0, 0.0, 0.3, 0.0, 0.0, 0, 0.02, 3, 0.0, 0, 0.002),
+      P(1.0, "cup (8 fl oz)", 237.0),
+      P(1.0, "fl oz", 29.6)),
+    F("14400", "Beverages, carbonated, cola", GROUP,
+      (41, 0.07, 0.02, 10.58, 0.0, 8.97, 2, 0.11, 4, 0.0, 0, 0.0),
+      P(1.0, "can (12 fl oz)", 368.0),
+      P(1.0, "cup (8 fl oz)", 246.0),
+      P(1.0, "fl oz", 30.7)),
+    F("14429", "Beverages, water, tap, drinking", GROUP,
+      (0, 0.0, 0.0, 0.0, 0.0, 0.0, 3, 0.0, 4, 0.0, 0, 0.0),
+      P(1.0, "cup (8 fl oz)", 237.0),
+      P(1.0, "fl oz", 29.6),
+      P(1.0, "tbsp", 14.8),
+      P(1.0, "liter", 1000.0)),
+    F("14433",
+      "Beverages, citrus fruit juice drink, frozen concentrate", GROUP,
+      (160, 0.8, 0.2, 40.0, 0.2, 37.0, 15, 0.3, 5, 100.0, 0, 0.02),
+      P(1.0, "can (12 fl oz)", 340.0),
+      P(1.0, "fl oz", 28.3)),
+]

@@ -1,0 +1,25 @@
+"""Curated SR subset — food group 08: Breakfast Cereals."""
+
+from repro.usda.data._build import F, P
+
+GROUP = "Breakfast Cereals"
+
+FOODS = [
+    F("08120",
+      "Cereals, oats, regular and quick, not fortified, dry", GROUP,
+      (379, 13.15, 6.52, 67.7, 10.1, 0.99, 52, 4.25, 6, 0.0, 0, 1.11),
+      P(1.0, "cup", 81.0),
+      P(0.5, "cup", 40.5),
+      P(0.33, "cup", 27.0)),
+    F("08020", "Cereals ready-to-eat, corn flakes", GROUP,
+      (357, 7.5, 0.4, 84.1, 3.3, 9.5, 5, 28.9, 729, 21.0, 0, 0.1),
+      P(1.0, "cup", 28.0)),
+    F("08121", "Cereals, oats, instant, fortified, plain, dry", GROUP,
+      (367, 12.66, 6.3, 68.18, 9.4, 1.1, 399, 29.25, 284, 0.0, 0, 1.09),
+      P(1.0, "packet", 28.0),
+      P(1.0, "cup", 81.0)),
+    F("08029", "Cereals ready-to-eat, granola, homemade", GROUP,
+      (489, 13.67, 24.31, 53.88, 8.9, 19.8, 76, 3.95, 27, 1.2, 0, 4.18),
+      P(1.0, "cup", 122.0),
+      P(0.5, "cup", 61.0)),
+]

@@ -1,0 +1,28 @@
+"""Curated SR subset — food group 21: Fast Foods.
+
+"Fast foods, quesadilla, with chicken" is the Table III vanilla-Jaccard
+(mis)match for "1 whole chicken with giblets" — it must be present so
+the vanilla metric can prefer its short description.
+"""
+
+from repro.usda.data._build import F, P
+
+GROUP = "Fast Foods"
+
+FOODS = [
+    F("21386", "Fast foods, quesadilla, with chicken", GROUP,
+      (234, 13.46, 11.44, 18.29, 1.3, 1.9, 258, 1.32, 571, 0.6, 42, 5.47),
+      P(1.0, "quesadilla", 180.0)),
+    F("21600",
+      "Fast Foods, Pizza Chain, 14\" pizza, cheese topping, regular crust",
+      GROUP,
+      (266, 11.39, 9.69, 33.33, 2.3, 3.58, 188, 2.48, 598, 0.9, 17, 4.53),
+      P(1.0, "slice", 107.0),
+      P(1.0, "pizza", 853.0)),
+    F("21138",
+      "Fast foods, potato, french fried", GROUP,
+      (319, 3.43, 15.47, 41.44, 3.8, 0.26, 18, 0.8, 246, 4.0, 0, 2.42),
+      P(1.0, "small serving", 71.0),
+      P(1.0, "medium serving", 117.0),
+      P(1.0, "large serving", 154.0)),
+]

@@ -1,0 +1,25 @@
+"""Curated SR subset — food group 17: Lamb, Veal, and Game Products."""
+
+from repro.usda.data._build import F, P
+
+GROUP = "Lamb, Veal, and Game Products"
+
+FOODS = [
+    F("17224", "Lamb, ground, raw", GROUP,
+      (282, 16.56, 23.41, 0.0, 0.0, 0.0, 16, 1.55, 59, 0.0, 73, 10.19),
+      P(1.0, "lb", 453.6),
+      P(1.0, "oz", 28.35),
+      P(4.0, "oz", 113.0)),
+    F("17036",
+      "Lamb, domestic, leg, whole (shank and sirloin), separable lean and "
+      "fat, trimmed to 1/4\" fat, raw", GROUP,
+      (230, 17.91, 17.07, 0.0, 0.0, 0.0, 9, 1.55, 56, 0.0, 71, 7.59),
+      P(1.0, "lb", 453.6),
+      P(1.0, "oz", 28.35)),
+    F("17013",
+      "Lamb, domestic, shoulder, whole (arm and blade), separable lean and "
+      "fat, trimmed to 1/4\" fat, raw", GROUP,
+      (282, 16.03, 23.63, 0.0, 0.0, 0.0, 16, 1.43, 59, 0.0, 73, 10.69),
+      P(1.0, "lb", 453.6),
+      P(1.0, "oz", 28.35)),
+]

@@ -1,0 +1,36 @@
+"""Curated SR subset — food group 10: Pork Products."""
+
+from repro.usda.data._build import F, P
+
+GROUP = "Pork Products"
+
+FOODS = [
+    F("10020",
+      "Pork, fresh, loin, whole, separable lean and fat, raw", GROUP,
+      (198, 19.74, 12.58, 0.0, 0.0, 0.0, 18, 0.87, 50, 0.6, 63, 4.36),
+      P(1.0, "chop, bone-in", 113.0),
+      P(1.0, "oz", 28.35),
+      P(1.0, "lb", 453.6)),
+    F("10123", "Pork, cured, bacon, unprepared", GROUP,
+      (458, 11.6, 45.04, 0.66, 0.0, 0.0, 5, 0.41, 751, 0.0, 66, 14.954),
+      P(1.0, "slice, raw", 28.35),
+      P(1.0, "lb", 453.6)),
+    F("10219", "Pork, fresh, ground, raw", GROUP,
+      (263, 16.88, 21.19, 0.0, 0.0, 0.0, 14, 0.88, 56, 0.7, 72, 7.87),
+      P(4.0, "oz", 113.0),
+      P(1.0, "lb", 453.6)),
+    F("10151",
+      "Pork, cured, ham, whole, separable lean and fat, unheated", GROUP,
+      (246, 18.49, 18.52, 0.05, 0.0, 0.0, 6, 0.75, 1284, 0.0, 56, 6.58),
+      P(1.0, "oz", 28.35),
+      P(1.0, "lb", 453.6)),
+    F("10060",
+      "Pork, fresh, shoulder, whole, separable lean and fat, raw", GROUP,
+      (236, 17.18, 18.16, 0.0, 0.0, 0.0, 16, 1.03, 66, 0.6, 72, 6.46),
+      P(1.0, "oz", 28.35),
+      P(1.0, "lb", 453.6)),
+    F("10088", "Pork, fresh, spareribs, separable lean and fat, raw", GROUP,
+      (277, 17.39, 22.55, 0.0, 0.0, 0.0, 16, 0.93, 81, 0.0, 80, 8.2),
+      P(1.0, "oz", 28.35),
+      P(1.0, "lb", 453.6)),
+]

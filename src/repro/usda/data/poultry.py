@@ -1,0 +1,59 @@
+"""Curated SR subset — food group 05: Poultry Products.
+
+"Chicken, broilers or fryers, meat and skin and giblets and neck, raw"
+is the Table III modified-Jaccard match for "1 whole chicken with
+giblets"; the plain meat-and-skin entry must also exist so the two
+compete.
+"""
+
+from repro.usda.data._build import F, P
+
+GROUP = "Poultry Products"
+
+FOODS = [
+    F("05006",
+      "Chicken, broilers or fryers, meat and skin and giblets and neck, raw",
+      GROUP,
+      (213, 18.33, 15.06, 0.06, 0.0, 0.0, 11, 1.34, 70, 1.6, 90, 4.31),
+      P(1.0, "chicken", 1046.0),
+      P(1.0, "lb", 453.6)),
+    F("05009", "Chicken, broilers or fryers, meat and skin, raw", GROUP,
+      (215, 18.6, 15.06, 0.0, 0.0, 0.0, 11, 0.9, 70, 1.6, 75, 4.31),
+      P(0.5, "chicken", 466.0),
+      P(1.0, "lb", 453.6),
+      P(1.0, "oz", 28.35)),
+    F("05027", "Chicken, liver, all classes, raw", GROUP,
+      (119, 16.92, 4.83, 0.73, 0.0, 0.0, 8, 8.99, 71, 17.9, 345, 1.563),
+      P(1.0, "liver", 44.0)),
+    F("05062", "Chicken, broilers or fryers, breast, meat only, raw", GROUP,
+      (114, 21.23, 2.59, 0.0, 0.0, 0.0, 11, 0.72, 63, 1.2, 58, 0.563),
+      P(0.5, "breast, bone and skin removed", 118.0),
+      P(1.0, "oz", 28.35),
+      P(1.0, "lb", 453.6)),
+    F("05076", "Chicken, broilers or fryers, drumstick, meat only, raw", GROUP,
+      (119, 19.27, 4.22, 0.0, 0.0, 0.0, 11, 1.02, 86, 0.0, 77, 1.08),
+      P(1.0, "drumstick, bone and skin removed", 72.0),
+      P(1.0, "oz", 28.35)),
+    F("05096", "Chicken, broilers or fryers, thigh, meat only, raw", GROUP,
+      (119, 19.66, 3.91, 0.0, 0.0, 0.0, 10, 0.98, 86, 0.0, 83, 1.02),
+      P(1.0, "thigh, bone and skin removed", 69.0),
+      P(1.0, "oz", 28.35),
+      P(1.0, "lb", 453.6)),
+    F("05100", "Chicken, broilers or fryers, wing, meat and skin, raw", GROUP,
+      (222, 18.33, 15.97, 0.0, 0.0, 0.0, 12, 0.95, 73, 0.7, 77, 4.45),
+      P(1.0, "wing, bone removed", 49.0),
+      P(1.0, "lb", 453.6)),
+    F("05091",
+      "Turkey, all classes, meat and skin, raw", GROUP,
+      (160, 20.42, 8.33, 0.06, 0.0, 0.06, 13, 1.17, 63, 0.0, 65, 2.24),
+      P(1.0, "lb", 453.6),
+      P(1.0, "oz", 28.35)),
+    F("05662", "Turkey, ground, raw", GROUP,
+      (148, 17.47, 8.34, 0.0, 0.0, 0.0, 21, 1.09, 69, 0.0, 69, 2.24),
+      P(1.0, "patty (4 oz, raw)", 113.0),
+      P(1.0, "lb", 453.6)),
+    F("05165", "Chicken, ground, raw", GROUP,
+      (143, 17.44, 8.1, 0.04, 0.0, 0.0, 6, 0.82, 60, 0.0, 86, 2.3),
+      P(1.0, "lb", 453.6),
+      P(1.0, "oz", 28.35)),
+]

@@ -1,0 +1,34 @@
+"""Curated SR subset — food group 07: Sausages and Luncheon Meats."""
+
+from repro.usda.data._build import F, P
+
+GROUP = "Sausages and Luncheon Meats"
+
+FOODS = [
+    F("07011", "Bologna, beef and pork", GROUP,
+      (308, 15.2, 24.59, 5.49, 0.0, 1.83, 85, 1.0, 960, 0.0, 60, 9.05),
+      P(1.0, "slice", 28.0)),
+    F("07022", "Frankfurter, beef", GROUP,
+      (322, 11.24, 29.57, 2.66, 0.0, 1.54, 12, 1.3, 1013, 0.0, 58, 11.7),
+      P(1.0, "frankfurter", 45.0)),
+    F("07029", "Ham, sliced, regular (approximately 11% fat)", GROUP,
+      (163, 16.6, 8.6, 3.83, 1.3, 0.0, 24, 1.02, 1143, 4.0, 57, 2.95),
+      P(1.0, "slice", 28.0),
+      P(1.0, "oz", 28.35)),
+    F("07036", "Sausage, Italian, pork, raw", GROUP,
+      (346, 14.25, 31.33, 0.65, 0.0, 0.0, 18, 1.18, 731, 2.0, 76, 11.27),
+      P(1.0, "link (4/lb)", 113.0),
+      P(1.0, "oz", 28.35)),
+    F("07057", "Pepperoni, beef and pork, sliced", GROUP,
+      (504, 19.25, 44.21, 1.18, 0.0, 0.0, 19, 1.33, 1582, 0.0, 97, 15.29),
+      P(1.0, "slice", 2.0),
+      P(1.0, "oz", 28.35)),
+    F("07069", "Salami, cooked, beef and pork", GROUP,
+      (336, 21.85, 25.9, 2.4, 0.0, 0.96, 15, 1.56, 1740, 0.0, 89, 9.32),
+      P(1.0, "slice", 26.0),
+      P(1.0, "oz", 28.35)),
+    F("07919", "Sausage, chorizo, pork and beef", GROUP,
+      (455, 24.1, 38.27, 1.86, 0.0, 0.0, 8, 1.58, 1235, 0.0, 88, 14.38),
+      P(1.0, "link", 60.0),
+      P(1.0, "oz", 28.35)),
+]

@@ -1,0 +1,105 @@
+"""In-memory indexed nutrient database.
+
+``NutrientDatabase`` preserves the order foods were inserted in — the
+paper's heuristic (i) resolves remaining match ties by taking the food
+*indexed first* in SR ("Apple" matches "Apples, raw, with skin" rather
+than "Apples, raw, without skin" because of index order), so insertion
+order is semantically meaningful here, not incidental.
+"""
+
+from __future__ import annotations
+
+import functools
+from collections.abc import Iterable, Iterator
+
+from repro.usda.schema import FoodItem
+
+
+class DuplicateFoodError(ValueError):
+    """Raised when two foods share an NDB number."""
+
+
+class NutrientDatabase:
+    """Ordered, indexed collection of :class:`FoodItem` records."""
+
+    def __init__(self, foods: Iterable[FoodItem] = ()):
+        self._foods: list[FoodItem] = []
+        self._by_ndb: dict[str, FoodItem] = {}
+        self._index_of: dict[str, int] = {}
+        for food in foods:
+            self.add(food)
+
+    def add(self, food: FoodItem) -> None:
+        """Append *food*, enforcing NDB-number uniqueness."""
+        if food.ndb_no in self._by_ndb:
+            raise DuplicateFoodError(f"duplicate NDB number: {food.ndb_no}")
+        self._index_of[food.ndb_no] = len(self._foods)
+        self._foods.append(food)
+        self._by_ndb[food.ndb_no] = food
+
+    def __len__(self) -> int:
+        return len(self._foods)
+
+    def __iter__(self) -> Iterator[FoodItem]:
+        return iter(self._foods)
+
+    def __contains__(self, ndb_no: str) -> bool:
+        return ndb_no in self._by_ndb
+
+    def get(self, ndb_no: str) -> FoodItem:
+        """Food with NDB number *ndb_no* (KeyError if absent)."""
+        return self._by_ndb[ndb_no]
+
+    def index_of(self, ndb_no: str) -> int:
+        """SR index (insertion position) of a food — the tie-break key."""
+        return self._index_of[ndb_no]
+
+    def by_description(self, description: str) -> FoodItem:
+        """Exact-description lookup (KeyError if absent)."""
+        for food in self._foods:
+            if food.description == description:
+                return food
+        raise KeyError(f"no food with description {description!r}")
+
+    def find(self, substring: str) -> list[FoodItem]:
+        """All foods whose description contains *substring* (case-insensitive)."""
+        needle = substring.lower()
+        return [f for f in self._foods if needle in f.description.lower()]
+
+    def descriptions(self) -> list[str]:
+        """All long descriptions, in SR index order."""
+        return [f.description for f in self._foods]
+
+    def food_groups(self) -> list[str]:
+        """Distinct food groups, in first-appearance order."""
+        seen: dict[str, None] = {}
+        for food in self._foods:
+            seen.setdefault(food.food_group, None)
+        return list(seen)
+
+    def vocabulary(self) -> frozenset[str]:
+        """Every lower-cased alphabetic word in descriptions and units.
+
+        Fed to the lemmatizer so detachment rules can validate
+        candidate lemmas against the actual matching vocabulary.
+        """
+        words: set[str] = set()
+        for food in self._foods:
+            for raw in food.description.replace(",", " ").replace("(", " ").replace(")", " ").replace("/", " ").split():
+                word = raw.strip("'\"-%").lower()
+                if word.isalpha():
+                    words.add(word)
+            for portion in food.portions:
+                for raw in portion.unit.replace(",", " ").replace("(", " ").replace(")", " ").split():
+                    word = raw.strip("'\"-%").lower()
+                    if word.isalpha():
+                        words.add(word)
+        return frozenset(words)
+
+
+@functools.lru_cache(maxsize=1)
+def load_default_database() -> NutrientDatabase:
+    """The embedded curated SR subset (cached; treat as read-only)."""
+    from repro.usda.data import all_foods
+
+    return NutrientDatabase(all_foods())

@@ -1,0 +1,190 @@
+"""Readers/writers for the USDA-SR ASCII release format and JSON.
+
+The genuine SR releases ship caret-delimited ASCII tables with text
+fields wrapped in tildes::
+
+    ~01001~^~0100~^~Butter, salted~
+    ~01001~^~208~^717
+    ~01001~^1^1.0^~pat (1" sq,  1/3" high)~^5.0
+
+Supporting this format means the real SR-Legacy files drop straight
+into the pipeline in place of the embedded curated subset, which is the
+substitution contract in DESIGN.md.  A JSON round-trip is provided for
+tooling and tests.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.usda.database import NutrientDatabase
+from repro.usda.nutrients import NUTRIENT_KEYS, SR_NUMBER_TO_KEY, NUTRIENTS
+from repro.usda.schema import FoodItem, Portion
+
+
+class SRFormatError(ValueError):
+    """Raised when an SR ASCII line cannot be parsed."""
+
+
+def parse_sr_fields(line: str) -> list[str | None]:
+    """Split one SR ASCII line into fields.
+
+    Text fields are wrapped in ``~``; numeric fields are bare; empty
+    fields (``^^``) become ``None``.
+    """
+    fields: list[str | None] = []
+    for raw in line.rstrip("\r\n").split("^"):
+        if raw == "":
+            fields.append(None)
+        elif raw.startswith("~") and raw.endswith("~") and len(raw) >= 2:
+            fields.append(raw[1:-1])
+        else:
+            fields.append(raw)
+    return fields
+
+
+def _text(field: str | None, line: str) -> str:
+    if field is None:
+        raise SRFormatError(f"missing required text field in line: {line!r}")
+    return field
+
+
+def _num(field: str | None, line: str) -> float:
+    if field is None:
+        raise SRFormatError(f"missing required numeric field in line: {line!r}")
+    try:
+        return float(field)
+    except ValueError as exc:
+        raise SRFormatError(f"bad numeric field {field!r} in line: {line!r}") from exc
+
+
+def load_sr_directory(path: str | Path) -> NutrientDatabase:
+    """Build a database from FOOD_DES.txt / NUT_DATA.txt / WEIGHT.txt.
+
+    Only the columns the pipeline needs are read; extra SR columns are
+    ignored so genuine releases (which carry ~14 FOOD_DES columns) load
+    unchanged.
+    """
+    path = Path(path)
+    food_des = path / "FOOD_DES.txt"
+    nut_data = path / "NUT_DATA.txt"
+    weight = path / "WEIGHT.txt"
+    for required in (food_des, nut_data, weight):
+        if not required.exists():
+            raise FileNotFoundError(f"missing SR table: {required}")
+
+    descriptions: list[tuple[str, str, str]] = []  # ndb, group, desc
+    with food_des.open(encoding="latin-1") as fh:
+        for line in fh:
+            if not line.strip():
+                continue
+            fields = parse_sr_fields(line)
+            if len(fields) < 3:
+                raise SRFormatError(f"FOOD_DES line too short: {line!r}")
+            descriptions.append(
+                (_text(fields[0], line), _text(fields[1], line), _text(fields[2], line))
+            )
+
+    nutrients: dict[str, dict[str, float]] = {}
+    with nut_data.open(encoding="latin-1") as fh:
+        for line in fh:
+            if not line.strip():
+                continue
+            fields = parse_sr_fields(line)
+            if len(fields) < 3:
+                raise SRFormatError(f"NUT_DATA line too short: {line!r}")
+            ndb = _text(fields[0], line)
+            nutr_no = _text(fields[1], line)
+            key = SR_NUMBER_TO_KEY.get(nutr_no)
+            if key is None:
+                continue  # untracked nutrient
+            nutrients.setdefault(ndb, {})[key] = _num(fields[2], line)
+
+    portions: dict[str, list[Portion]] = {}
+    with weight.open(encoding="latin-1") as fh:
+        for line in fh:
+            if not line.strip():
+                continue
+            fields = parse_sr_fields(line)
+            if len(fields) < 5:
+                raise SRFormatError(f"WEIGHT line too short: {line!r}")
+            ndb = _text(fields[0], line)
+            portions.setdefault(ndb, []).append(
+                Portion(
+                    seq=int(_num(fields[1], line)),
+                    amount=_num(fields[2], line),
+                    unit=_text(fields[3], line),
+                    grams=_num(fields[4], line),
+                )
+            )
+
+    foods = [
+        FoodItem(
+            ndb_no=ndb,
+            description=desc,
+            food_group=group,
+            nutrients=nutrients.get(ndb, {}),
+            portions=tuple(sorted(portions.get(ndb, []), key=lambda p: p.seq)),
+        )
+        for ndb, group, desc in descriptions
+    ]
+    return NutrientDatabase(foods)
+
+
+def dump_sr_directory(db: NutrientDatabase, path: str | Path) -> None:
+    """Write *db* in SR ASCII format (inverse of :func:`load_sr_directory`)."""
+    path = Path(path)
+    path.mkdir(parents=True, exist_ok=True)
+    with (path / "FOOD_DES.txt").open("w", encoding="latin-1") as fh:
+        for food in db:
+            fh.write(f"~{food.ndb_no}~^~{food.food_group}~^~{food.description}~\n")
+    with (path / "NUT_DATA.txt").open("w", encoding="latin-1") as fh:
+        for food in db:
+            for nutrient in NUTRIENTS:
+                value = food.nutrients.get(nutrient.key)
+                if value is not None:
+                    fh.write(f"~{food.ndb_no}~^~{nutrient.sr_number}~^{value:g}\n")
+    with (path / "WEIGHT.txt").open("w", encoding="latin-1") as fh:
+        for food in db:
+            for p in food.portions:
+                fh.write(
+                    f"~{food.ndb_no}~^{p.seq}^{p.amount:g}^~{p.unit}~^{p.grams:g}\n"
+                )
+
+
+def to_json(db: NutrientDatabase) -> str:
+    """Serialize *db* to a JSON string (stable key order)."""
+    payload = [
+        {
+            "ndb_no": food.ndb_no,
+            "description": food.description,
+            "food_group": food.food_group,
+            "nutrients": {k: food.nutrients[k] for k in NUTRIENT_KEYS if k in food.nutrients},
+            "portions": [
+                {"seq": p.seq, "amount": p.amount, "unit": p.unit, "grams": p.grams}
+                for p in food.portions
+            ],
+        }
+        for food in db
+    ]
+    return json.dumps(payload, indent=1)
+
+
+def from_json(text: str) -> NutrientDatabase:
+    """Inverse of :func:`to_json`."""
+    foods = []
+    for entry in json.loads(text):
+        foods.append(
+            FoodItem(
+                ndb_no=entry["ndb_no"],
+                description=entry["description"],
+                food_group=entry["food_group"],
+                nutrients=dict(entry["nutrients"]),
+                portions=tuple(
+                    Portion(p["seq"], p["amount"], p["unit"], p["grams"])
+                    for p in entry["portions"]
+                ),
+            )
+        )
+    return NutrientDatabase(foods)

@@ -1,0 +1,68 @@
+"""The nutrient panel tracked for every food.
+
+USDA-SR reports up to 150 nutrients per food; recipe nutrition services
+(and the paper's evaluation, which scores calories) use a small panel.
+We track the twelve nutrients below — the SR "abbreviated" core — which
+is enough to regenerate every number in the paper while keeping the
+embedded database reviewable.
+
+Values are stored **per 100 g of edible portion**, exactly as SR does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class NutrientDef:
+    """Definition of one tracked nutrient.
+
+    Attributes
+    ----------
+    key:
+        Stable identifier used as the attribute/dict key everywhere.
+    sr_number:
+        USDA-SR nutrient number (Nutr_No in NUT_DATA).
+    name:
+        Human-readable name.
+    unit:
+        Reporting unit (per 100 g of food).
+    """
+
+    key: str
+    sr_number: str
+    name: str
+    unit: str
+
+
+#: Canonical nutrient order.  Embedded data files store per-food values
+#: as a tuple in exactly this order.
+NUTRIENTS: tuple[NutrientDef, ...] = (
+    NutrientDef("energy_kcal", "208", "Energy", "kcal"),
+    NutrientDef("protein_g", "203", "Protein", "g"),
+    NutrientDef("fat_g", "204", "Total lipid (fat)", "g"),
+    NutrientDef("carbohydrate_g", "205", "Carbohydrate, by difference", "g"),
+    NutrientDef("fiber_g", "291", "Fiber, total dietary", "g"),
+    NutrientDef("sugar_g", "269", "Sugars, total", "g"),
+    NutrientDef("calcium_mg", "301", "Calcium, Ca", "mg"),
+    NutrientDef("iron_mg", "303", "Iron, Fe", "mg"),
+    NutrientDef("sodium_mg", "307", "Sodium, Na", "mg"),
+    NutrientDef("vitamin_c_mg", "401", "Vitamin C, total ascorbic acid", "mg"),
+    NutrientDef("cholesterol_mg", "601", "Cholesterol", "mg"),
+    NutrientDef("saturated_fat_g", "606", "Fatty acids, total saturated", "g"),
+)
+
+#: Nutrient keys in canonical order.
+NUTRIENT_KEYS: tuple[str, ...] = tuple(n.key for n in NUTRIENTS)
+
+#: SR nutrient number -> key, for the ASCII loader.
+SR_NUMBER_TO_KEY: dict[str, str] = {n.sr_number: n.key for n in NUTRIENTS}
+
+
+def nutrient_index(key: str) -> int:
+    """Position of *key* in the canonical order (raises KeyError if unknown)."""
+    try:
+        return NUTRIENT_KEYS.index(key)
+    except ValueError:
+        raise KeyError(f"unknown nutrient key: {key!r}") from None

@@ -1,0 +1,97 @@
+"""Record types mirroring the USDA-SR relational schema.
+
+SR ships three tables that matter to the paper's protocol:
+
+* ``FOOD_DES``  — NDB number, long description, food group
+* ``NUT_DATA``  — nutrient values per 100 g
+* ``WEIGHT``    — household portions: sequence, amount, unit
+  description, gram weight (the paper's Table IV is a slice of this)
+
+``FoodItem`` denormalizes one food across the three tables, which is
+the natural unit for matching and nutrition arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.usda.nutrients import NUTRIENT_KEYS
+
+
+@dataclass(frozen=True, slots=True)
+class Portion:
+    """One household-measure row from SR's WEIGHT table.
+
+    Mirrors the paper's Table IV columns: ``seq``, ``amount``, ``unit``
+    (the raw unit description, possibly messy — e.g. ``pat (1" sq, 1/3"
+    high)``), and ``grams`` — the weight of ``amount`` × ``unit``.
+    """
+
+    seq: int
+    amount: float
+    unit: str
+    grams: float
+
+    @property
+    def grams_per_amount(self) -> float:
+        """Gram weight of ONE unit (Table IV's "gram per amount" column)."""
+        if self.amount <= 0:
+            raise ValueError(f"non-positive portion amount: {self.amount}")
+        return self.grams / self.amount
+
+
+@dataclass(frozen=True, slots=True)
+class FoodItem:
+    """One food: description, group, nutrients per 100 g, portions.
+
+    Attributes
+    ----------
+    ndb_no:
+        SR's 5-digit NDB number (a string — leading zeros matter).
+    description:
+        The long description, comma-separated terms in decreasing
+        importance ("Butter, salted").
+    food_group:
+        SR food-group name ("Dairy and Egg Products").
+    nutrients:
+        Mapping of nutrient key -> value per 100 g.  Keys are exactly
+        :data:`repro.usda.nutrients.NUTRIENT_KEYS`; missing analytical
+        values are simply absent.
+    portions:
+        Household measures in SR sequence order.
+    """
+
+    ndb_no: str
+    description: str
+    food_group: str
+    nutrients: dict[str, float] = field(default_factory=dict)
+    portions: tuple[Portion, ...] = ()
+
+    def __post_init__(self) -> None:
+        unknown = set(self.nutrients) - set(NUTRIENT_KEYS)
+        if unknown:
+            raise ValueError(
+                f"unknown nutrient keys for {self.ndb_no}: {sorted(unknown)}"
+            )
+
+    @property
+    def terms(self) -> list[str]:
+        """Comma-separated description terms, stripped, original case.
+
+        The paper's heuristic (a): the first term carries the highest
+        matching priority.
+        """
+        return [t.strip() for t in self.description.split(",") if t.strip()]
+
+    @property
+    def energy_kcal(self) -> float:
+        """Energy per 100 g (0.0 when not analyzed)."""
+        return self.nutrients.get("energy_kcal", 0.0)
+
+    def nutrient_per_gram(self, key: str) -> float:
+        """Value of nutrient *key* per gram of this food."""
+        return self.nutrients.get(key, 0.0) / 100.0
+
+    def portion_units(self) -> list[str]:
+        """Raw unit descriptions of all portions, in sequence order."""
+        return [p.unit for p in self.portions]

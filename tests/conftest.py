@@ -1,0 +1,33 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import NutritionEstimator, RecipeGenerator, load_default_database
+from repro.matching.matcher import DescriptionMatcher
+
+
+@pytest.fixture(scope="session")
+def db():
+    return load_default_database()
+
+
+@pytest.fixture(scope="session")
+def matcher(db):
+    return DescriptionMatcher(db)
+
+
+@pytest.fixture(scope="session")
+def estimator():
+    return NutritionEstimator()
+
+
+@pytest.fixture(scope="session")
+def generator():
+    return RecipeGenerator()
+
+
+@pytest.fixture(scope="session")
+def small_corpus(generator):
+    return generator.generate(60)

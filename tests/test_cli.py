@@ -1,0 +1,93 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestEstimate:
+    def test_estimates_recipe(self, capsys):
+        code = main(["estimate", "--servings", "2",
+                     "1 cup white sugar", "2 tbsp butter"])
+        assert code == 0
+        out = capsys.readouterr().out
+        # Bare "sugar" resolves to "Sugars, brown" by SR index order
+        # (19334 < 19335) — heuristic (i) verbatim; "white sugar"
+        # disambiguates via term priority.
+        assert "Sugars," in out
+        assert "energy_kcal" in out
+
+    def test_unmatched_shown(self, capsys):
+        main(["estimate", "2 tsp garam masala"])
+        assert "(unmatched)" in capsys.readouterr().out
+
+
+class TestParse:
+    def test_shows_tags_and_entities(self, capsys):
+        code = main(["parse", "1 small onion , finely chopped"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "QUANTITY" in out and "SIZE" in out and "NAME" in out
+        assert "name='onion'" in out
+
+
+class TestMatch:
+    def test_match_found(self, capsys):
+        code = main(["match", "red lentils"])
+        assert code == 0
+        assert "Lentils, pink or red, raw" in capsys.readouterr().out
+
+    def test_match_with_state(self, capsys):
+        code = main(["match", "coriander", "--state", "ground"])
+        assert code == 0
+        assert "Coriander (cilantro) leaves, raw" in capsys.readouterr().out
+
+    def test_unmatched_exit_code(self, capsys):
+        assert main(["match", "garam masala"]) == 1
+        assert "UNMATCHED" in capsys.readouterr().out
+
+    def test_explain(self, capsys):
+        code = main(["match", "apple", "--explain"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "winner: Apples, raw, with skin" in out
+        assert "decided by" in out
+
+
+class TestGenerate:
+    def test_prints_recipes(self, capsys):
+        code = main(["generate", "--recipes", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.count("# ") == 2
+
+    def test_writes_jsonl(self, tmp_path, capsys):
+        out_file = tmp_path / "c.jsonl"
+        code = main(["generate", "--recipes", "3", "--out", str(out_file)])
+        assert code == 0
+        from repro.recipedb.corpus import load_recipes_jsonl
+
+        assert len(load_recipes_jsonl(out_file)) == 3
+
+    def test_seed_changes_corpus(self, capsys):
+        main(["generate", "--recipes", "2", "--seed", "1"])
+        first = capsys.readouterr().out
+        main(["generate", "--recipes", "2", "--seed", "2"])
+        second = capsys.readouterr().out
+        assert first != second
+
+
+class TestTables:
+    def test_all_four_tables(self, capsys):
+        code = main(["tables"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for marker in ("Table I", "Table II", "Table III", "Table IV",
+                       "Butter, salted"):
+            assert marker in out
+
+
+class TestParser:
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,99 @@
+"""Tests for Figure-2 coverage histograms."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.coverage import (
+    BUCKETS,
+    CoverageHistogram,
+    _bucket_index,
+    coverage_histogram,
+)
+from repro.core.estimator import (
+    IngredientEstimate,
+    ParsedIngredient,
+    RecipeEstimate,
+    STATUS_FULL,
+    STATUS_NAME_ONLY,
+    STATUS_UNMATCHED,
+)
+from repro.core.profile import NutritionalProfile
+
+
+def _estimate(statuses):
+    parsed = ParsedIngredient("x", ("x",), ("NAME",), "x", "", "", "", "", "", "")
+    ingredients = tuple(
+        IngredientEstimate(parsed=parsed, status=s) for s in statuses
+    )
+    zero = NutritionalProfile.zero()
+    return RecipeEstimate(ingredients=ingredients, servings=1,
+                          total=zero, per_serving=zero)
+
+
+class TestBucketIndex:
+    def test_exact_hundred_separate(self):
+        assert _bucket_index(100.0) == len(BUCKETS) - 1
+        assert _bucket_index(99.9) == len(BUCKETS) - 2
+
+    def test_zero(self):
+        assert _bucket_index(0.0) == 0
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            _bucket_index(-1.0)
+        with pytest.raises(ValueError):
+            _bucket_index(101.0)
+
+    @given(st.floats(min_value=0, max_value=100, allow_nan=False))
+    def test_always_valid(self, percent):
+        assert 0 <= _bucket_index(percent) < len(BUCKETS)
+
+
+class TestHistogram:
+    def test_counts(self):
+        estimates = [
+            _estimate([STATUS_FULL] * 4),                      # 100%
+            _estimate([STATUS_FULL] * 3 + [STATUS_NAME_ONLY]), # 75%
+            _estimate([STATUS_UNMATCHED] * 2),                 # 0%
+        ]
+        hist = coverage_histogram(estimates, "full")
+        assert hist.total == 3
+        assert hist.counts[-1] == 1   # the 100% bucket
+        assert hist.counts[7] == 1    # 70-80%
+        assert hist.counts[0] == 1    # 0-10%
+
+    def test_name_level(self):
+        estimates = [_estimate([STATUS_NAME_ONLY] * 2)]
+        full = coverage_histogram(estimates, "full")
+        name = coverage_histogram(estimates, "name")
+        assert full.counts[0] == 1      # 0% fully mapped
+        assert name.counts[-1] == 1     # 100% name mapped
+
+    def test_invalid_level(self):
+        with pytest.raises(ValueError):
+            coverage_histogram([], "bogus")
+
+    def test_fractions_sum_to_one(self):
+        estimates = [_estimate([STATUS_FULL])] * 5
+        hist = coverage_histogram(estimates, "full")
+        assert sum(hist.fractions()) == pytest.approx(1.0)
+
+    def test_empty(self):
+        hist = coverage_histogram([], "full")
+        assert hist.total == 0
+        assert sum(hist.fractions()) == 0.0
+
+    def test_labels(self):
+        hist = coverage_histogram([], "full")
+        labels = hist.labels()
+        assert labels[0] == "0-10%"
+        assert labels[-1] == "100%"
+
+    def test_ascii_chart(self):
+        estimates = [_estimate([STATUS_FULL])] * 3
+        chart = coverage_histogram(estimates, "full").ascii_chart(width=10)
+        assert "100%" in chart and "#" in chart
+
+    def test_wrong_bucket_count_rejected(self):
+        with pytest.raises(ValueError):
+            CoverageHistogram(counts=(1, 2), total=3)

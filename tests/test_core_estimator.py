@@ -1,0 +1,147 @@
+"""Tests for the end-to-end NutritionEstimator."""
+
+import pytest
+
+from repro.core.estimator import (
+    NutritionEstimator,
+    STATUS_FULL,
+    STATUS_NAME_ONLY,
+    STATUS_UNMATCHED,
+)
+from repro.recipedb.phrases import PIROSZHKI_PHRASES
+
+
+class TestParse:
+    @pytest.mark.parametrize("phrase,name,quantity,unit", [
+        ("1/2 lb lean ground beef", "beef", "1/2", "lb"),
+        ("1 small onion , finely chopped", "onion", "1", ""),
+        ("1 tablespoon fresh dill weed", "dill weed", "1", "tablespoon"),
+        ("2 cups all-purpose flour", "all-purpose flour", "2", "cups"),
+        ("1 egg yolk", "egg yolk", "1", ""),
+    ])
+    def test_table_i_fields(self, estimator, phrase, name, quantity, unit):
+        parsed = estimator.parse(phrase)
+        assert parsed.name == name
+        assert parsed.quantity == quantity
+        assert parsed.unit == unit
+
+    def test_alternative_keeps_first(self, estimator):
+        parsed = estimator.parse("3/4 cup butter or 3/4 cup margarine , softened")
+        assert parsed.name == "butter"
+        assert parsed.quantity == "3/4"
+        assert parsed.unit == "cup"
+        assert parsed.state == "softened"
+
+    def test_state_joined_across_segments(self, estimator):
+        parsed = estimator.parse("1 hard-cooked egg , finely chopped")
+        assert parsed.state == "hard-cooked chopped"
+
+    def test_temp_extracted(self, estimator):
+        parsed = estimator.parse("1 tablespoon cold water")
+        assert parsed.temperature == "cold"
+        assert parsed.name == "water"
+
+    def test_size_extracted(self, estimator):
+        assert estimator.parse("1 small onion").size == "small"
+
+    def test_range_quantity_joined(self, estimator):
+        parsed = estimator.parse("2 - 4 carrots , sliced")
+        assert parsed.quantity == "2-4"
+
+    def test_of_interrupted_name(self, estimator):
+        parsed = estimator.parse("2 cans cream of mushroom soup")
+        assert parsed.name == "cream mushroom soup"
+
+
+class TestEstimateIngredient:
+    def test_full_pipeline(self, estimator):
+        est = estimator.estimate_ingredient("2 cups all-purpose flour")
+        assert est.status == STATUS_FULL
+        assert est.match.food.ndb_no == "20081"
+        assert est.grams == pytest.approx(250.0)
+        assert est.calories == pytest.approx(910.0, rel=1e-3)
+
+    def test_unmatched_ingredient(self, estimator):
+        est = estimator.estimate_ingredient("2 teaspoons garam masala")
+        assert est.status == STATUS_UNMATCHED
+        assert est.calories == 0.0
+
+    def test_derived_teaspoon_of_butter(self, estimator):
+        est = estimator.estimate_ingredient("1 teaspoon butter")
+        assert est.status == STATUS_FULL
+        assert est.resolution.method == "volume-derived"
+        # §III: 1 tsp butter ≈ 35 kcal.
+        assert est.calories == pytest.approx(34.0, abs=5.0)
+
+    def test_bare_count(self, estimator):
+        est = estimator.estimate_ingredient("2 eggs")
+        assert est.status == STATUS_FULL
+        assert est.grams == pytest.approx(100.0)
+
+    def test_range_quantity_averaged(self, estimator):
+        est = estimator.estimate_ingredient("2 - 4 medium carrots")
+        assert est.quantity == 3.0
+
+    def test_missing_quantity_defaults_to_one(self, estimator):
+        est = estimator.estimate_ingredient("salt to taste")
+        assert est.quantity == 1.0
+
+    def test_alias_unit(self, estimator):
+        a = estimator.estimate_ingredient("2 tbsp sugar")
+        b = estimator.estimate_ingredient("2 tablespoons sugar")
+        assert a.grams == pytest.approx(b.grams)
+
+    def test_scan_rescues_missing_unit(self):
+        # A tagger that never emits UNIT forces the phrase scan.
+        class NoUnitTagger:
+            def predict(self, tokens):
+                tags = []
+                for t in tokens:
+                    if t[0].isdigit():
+                        tags.append("QUANTITY")
+                    elif t.isalpha():
+                        tags.append("NAME")
+                    else:
+                        tags.append("O")
+                return tags
+
+        estimator = NutritionEstimator(tagger=NoUnitTagger())
+        est = estimator.estimate_ingredient("2 cups sugar")
+        # "cups" was tagged NAME, but the matcher still finds sugar and
+        # the name includes a scannable unit.
+        assert est.status in (STATUS_FULL, STATUS_NAME_ONLY)
+
+    def test_plausibility_threshold(self, estimator):
+        # "500 cups water" is implausible (>118 kg); the scan finds the
+        # same cup, so resolution fails through to fallback/None.
+        est = estimator.estimate_ingredient("500 cups water")
+        assert est.grams <= estimator.fallback._max_grams or est.status != STATUS_FULL
+
+
+class TestEstimateRecipe:
+    def test_piroszhki_end_to_end(self, estimator):
+        recipe = estimator.estimate_recipe(list(PIROSZHKI_PHRASES), servings=6)
+        assert recipe.fraction_fully_mapped == 1.0
+        assert recipe.fraction_name_mapped == 1.0
+        # Pastry dough + beef filling lands in plausible range.
+        assert 300 <= recipe.per_serving.calories <= 800
+        total = sum(i.calories for i in recipe.ingredients)
+        assert recipe.total.calories == pytest.approx(total)
+        assert recipe.per_serving.calories == pytest.approx(total / 6)
+
+    def test_bad_servings(self, estimator):
+        with pytest.raises(ValueError):
+            estimator.estimate_recipe(["1 cup sugar"], servings=0)
+
+    def test_empty_recipe(self, estimator):
+        recipe = estimator.estimate_recipe([], servings=2)
+        assert recipe.total.calories == 0.0
+        assert recipe.fraction_fully_mapped == 0.0
+
+    def test_corpus_two_pass_fallback(self, generator):
+        estimator = NutritionEstimator()
+        recipes = generator.generate(30)
+        results = estimator.estimate_corpus(recipes, passes=2)
+        assert len(results) == 30
+        with pytest.raises(ValueError):
+            estimator.estimate_corpus(recipes, passes=0)

@@ -1,0 +1,83 @@
+"""Tests for nutritional profile arithmetic."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.profile import NutritionalProfile
+from repro.usda.nutrients import NUTRIENT_KEYS
+from repro.usda.schema import FoodItem
+
+amounts = st.dictionaries(
+    st.sampled_from(NUTRIENT_KEYS),
+    st.floats(min_value=0, max_value=1000, allow_nan=False),
+    max_size=6,
+)
+
+
+def profile_strategy():
+    return amounts.map(NutritionalProfile)
+
+
+class TestBasics:
+    def test_zero(self):
+        assert NutritionalProfile.zero().calories == 0.0
+
+    def test_from_food(self):
+        food = FoodItem("1", "X", "G", nutrients={"energy_kcal": 717.0})
+        profile = NutritionalProfile.from_food(food, 14.2)
+        assert profile.calories == pytest.approx(101.8, rel=1e-3)
+
+    def test_from_food_negative_grams(self):
+        food = FoodItem("1", "X", "G")
+        with pytest.raises(ValueError):
+            NutritionalProfile.from_food(food, -1.0)
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ValueError):
+            NutritionalProfile({"bogus": 1.0})
+        with pytest.raises(KeyError):
+            NutritionalProfile.zero().get("bogus")
+
+    def test_per_serving(self):
+        profile = NutritionalProfile({"energy_kcal": 600.0})
+        assert profile.per_serving(6).calories == 100.0
+        with pytest.raises(ValueError):
+            profile.per_serving(0)
+
+    def test_scaled_negative_rejected(self):
+        with pytest.raises(ValueError):
+            NutritionalProfile.zero().scaled(-1.0)
+
+    def test_rounded_canonical_order(self):
+        profile = NutritionalProfile({"energy_kcal": 1.2345})
+        rounded = profile.rounded()
+        assert list(rounded) == list(NUTRIENT_KEYS)
+        assert rounded["energy_kcal"] == 1.23
+
+
+class TestAlgebra:
+    @given(profile_strategy(), profile_strategy())
+    def test_addition_commutative(self, a, b):
+        assert (a + b).rounded(6) == (b + a).rounded(6)
+
+    @given(profile_strategy(), profile_strategy(), profile_strategy())
+    def test_addition_associative(self, a, b, c):
+        left = ((a + b) + c).rounded(4)
+        right = (a + (b + c)).rounded(4)
+        assert left == pytest.approx(right)
+
+    @given(profile_strategy())
+    def test_zero_identity(self, a):
+        assert (a + NutritionalProfile.zero()).rounded(6) == a.rounded(6)
+
+    @given(profile_strategy(),
+           st.floats(min_value=0, max_value=10, allow_nan=False))
+    def test_scaling_linear(self, a, factor):
+        scaled = a.scaled(factor)
+        for key in NUTRIENT_KEYS:
+            assert scaled.get(key) == pytest.approx(a.get(key) * factor)
+
+    @given(profile_strategy(), st.integers(min_value=1, max_value=12))
+    def test_per_serving_sums_back(self, a, servings):
+        per = a.per_serving(servings)
+        assert per.scaled(servings).calories == pytest.approx(a.calories)

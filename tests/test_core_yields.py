@@ -1,0 +1,67 @@
+"""Tests for cooking-yield adjustment (the paper's [4] future work)."""
+
+import pytest
+
+from repro.core.profile import NutritionalProfile
+from repro.core.yields import (
+    STATE_TO_METHOD,
+    YIELD_FACTORS,
+    YieldFactor,
+    apply_cooking_yield,
+    infer_method,
+    yield_factor,
+)
+
+
+class TestYieldFactor:
+    def test_retention_applied(self):
+        profile = NutritionalProfile({"vitamin_c_mg": 100.0, "protein_g": 10.0})
+        boiled = yield_factor("boiled").apply(profile)
+        assert boiled.get("vitamin_c_mg") == pytest.approx(50.0)
+        assert boiled.get("protein_g") == 10.0  # unlisted -> retained
+
+    def test_energy_mostly_conserved(self):
+        profile = NutritionalProfile({"energy_kcal": 200.0})
+        for method, factor in YIELD_FACTORS.items():
+            cooked = factor.apply(profile)
+            assert cooked.calories >= 0.9 * 200.0, method
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            YieldFactor("x", 0.0)
+        with pytest.raises(ValueError):
+            YieldFactor("x", 1.0, {"bogus": 0.5})
+        with pytest.raises(ValueError):
+            YieldFactor("x", 1.0, {"energy_kcal": 1.5})
+
+    def test_unknown_method(self):
+        with pytest.raises(KeyError):
+            yield_factor("sous-vide")
+
+    def test_raw_is_identity(self):
+        profile = NutritionalProfile({"energy_kcal": 123.0, "iron_mg": 2.0})
+        assert yield_factor("raw").apply(profile).rounded() == profile.rounded()
+
+
+class TestInference:
+    def test_state_words(self):
+        assert infer_method("roasted and chopped") == "roasted"
+        assert infer_method("hard-boiled") == "boiled"
+        assert infer_method("finely chopped") is None
+        assert infer_method("") is None
+
+    def test_all_mapped_methods_exist(self):
+        for method in STATE_TO_METHOD.values():
+            assert method in YIELD_FACTORS
+
+    def test_apply_cooking_yield(self):
+        profile = NutritionalProfile({"vitamin_c_mg": 40.0})
+        adjusted, method = apply_cooking_yield(profile, "boiled , drained")
+        assert method == "boiled"
+        assert adjusted.get("vitamin_c_mg") == pytest.approx(20.0)
+
+    def test_apply_without_method_is_identity(self):
+        profile = NutritionalProfile({"energy_kcal": 90.0})
+        adjusted, method = apply_cooking_yield(profile, "diced")
+        assert method is None
+        assert adjusted is profile

@@ -1,0 +1,105 @@
+"""Tests for the evaluation harness (metrics, tables, figures, gold)."""
+
+import pytest
+
+from repro.eval.gold import select_evaluation_recipes
+from repro.eval.metrics import (
+    calorie_error_report,
+    match_accuracy,
+    metric_divergence,
+    unique_ingredient_match_rate,
+)
+from repro.eval.tables import (
+    TABLE_II_DESCRIPTIONS,
+    TABLE_III_ROWS,
+    render_table_i,
+    render_table_ii,
+    render_table_iii,
+    render_table_iv,
+)
+from repro.eval.figures import figure_2
+from repro.matching.matcher import DescriptionMatcher, MatcherConfig
+
+
+@pytest.fixture(scope="module")
+def corpus_results(estimator, small_corpus):
+    return estimator.estimate_corpus(small_corpus)
+
+
+class TestMetrics:
+    def test_unique_match_rate_band(self, corpus_results):
+        matched, total, rate = unique_ingredient_match_rate(corpus_results)
+        assert total > 50
+        assert 0.80 <= rate < 1.0
+
+    def test_match_accuracy(self, small_corpus, corpus_results):
+        report = match_accuracy(small_corpus, corpus_results, top_n=500)
+        assert report.n_pairs > 0
+        assert 0.0 <= report.exact_accuracy <= 1.0
+        assert report.suitable_accuracy >= report.exact_accuracy
+
+    def test_length_mismatch(self, small_corpus, corpus_results):
+        with pytest.raises(ValueError):
+            match_accuracy(small_corpus[:-1], corpus_results)
+
+    def test_metric_divergence_counts(self, db):
+        modified = DescriptionMatcher(db)
+        vanilla = DescriptionMatcher(db, MatcherConfig(use_modified_jaccard=False))
+        differing, total = metric_divergence(
+            modified, vanilla,
+            [("skim milk", ""), ("butter", ""), ("salt", "")])
+        assert total == 3
+        assert 0 <= differing <= total
+
+    def test_calorie_error_report(self, small_corpus, corpus_results):
+        pairs = select_evaluation_recipes(small_corpus, corpus_results)
+        assert pairs, "no recipes passed the evaluation filter"
+        report, errors = calorie_error_report(pairs)
+        assert report.n_recipes == len(pairs) == len(errors)
+        assert report.mean_abs_error >= 0
+        assert report.median_abs_error <= report.p90_abs_error
+        assert report.mean_gold_calories > 0
+
+    def test_calorie_error_empty_raises(self):
+        with pytest.raises(ValueError):
+            calorie_error_report([])
+
+    def test_gold_selection_filter(self, small_corpus, corpus_results):
+        pairs = select_evaluation_recipes(small_corpus, corpus_results)
+        for recipe, estimate in pairs:
+            assert estimate.fraction_fully_mapped == 1.0
+        with pytest.raises(ValueError):
+            select_evaluation_recipes(small_corpus[:-1], corpus_results)
+
+
+class TestTables:
+    def test_table_i_renders(self, estimator):
+        table = render_table_i(estimator)
+        assert "1/2 lb lean ground beef" in table
+        assert "beef" in table
+
+    def test_table_ii_all_present(self, db):
+        table = render_table_ii(db)
+        assert "MISSING" not in table
+        assert len(TABLE_II_DESCRIPTIONS) == 19
+
+    def test_table_iii_renders(self, db):
+        table = render_table_iii(db)
+        assert "Lentils, pink or red, raw" in table
+        assert len(TABLE_III_ROWS) == 10
+
+    def test_table_iv_paper_numbers(self, db):
+        table = render_table_iv(db)
+        assert "227" in table   # cup grams
+        assert "14.2" in table  # tbsp grams
+        assert "113" in table   # stick grams
+        assert "teaspoon (derived by volume)" in table
+
+
+class TestFigure2:
+    def test_series_and_chart(self, corpus_results):
+        full, name, chart = figure_2(corpus_results)
+        assert full.total == name.total == len(corpus_results)
+        assert "100%" in chart
+        # Name coverage dominates full coverage bucket-by-cumulative.
+        assert sum(name.counts[-2:]) >= sum(full.counts[-2:])

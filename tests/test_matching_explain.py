@@ -1,0 +1,33 @@
+"""Tests for match explanations."""
+
+from repro.matching.explain import explain_match
+
+
+class TestExplainMatch:
+    def test_winner_explained(self, matcher):
+        explanation = explain_match(matcher, "red lentils")
+        assert explanation.winner is not None
+        text = explanation.render()
+        assert "Lentils, pink or red, raw" in text
+        assert "word set A" in text
+        assert "decided by" in text or len(explanation.candidates) <= 1
+
+    def test_unmatched_explained(self, matcher):
+        explanation = explain_match(matcher, "garam masala")
+        assert explanation.winner is None
+        assert "UNMATCHED" in explanation.render()
+
+    def test_candidates_ordered_with_winner_first(self, matcher):
+        explanation = explain_match(matcher, "egg", k=4)
+        assert explanation.candidates[0].food.ndb_no == (
+            explanation.winner.food.ndb_no)
+
+    def test_tie_break_reason_named(self, matcher):
+        # "apple": Apples-with-skin beats Babyfood via priority, and
+        # beats without-skin via index — a reason must be stated.
+        text = explain_match(matcher, "apple").render()
+        assert "decided by:" in text
+
+    def test_query_words_rendered(self, matcher):
+        text = explain_match(matcher, "unsalted butter").render()
+        assert "not" in text and "salt" in text

@@ -1,0 +1,102 @@
+"""Tests for Jaccard indices and match preprocessing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.matching.jaccard import modified_jaccard, vanilla_jaccard
+from repro.matching.preprocess import (
+    canonical_word,
+    preprocess_description,
+    preprocess_word_set,
+    preprocess_words,
+)
+
+words = st.frozensets(st.sampled_from("abcdefghij"), max_size=8)
+
+
+class TestJaccardIndices:
+    def test_paper_definitions(self):
+        a = {"red", "lentil"}
+        b = {"lentil", "pink", "red", "raw"}
+        assert vanilla_jaccard(a, b) == 2 / 4
+        assert modified_jaccard(a, b) == 2 / 2
+
+    def test_empty_sets(self):
+        assert vanilla_jaccard(set(), set()) == 0.0
+        assert modified_jaccard(set(), {"x"}) == 0.0
+
+    @given(words, words)
+    def test_bounds(self, a, b):
+        assert 0.0 <= vanilla_jaccard(a, b) <= 1.0
+        assert 0.0 <= modified_jaccard(a, b) <= 1.0
+
+    @given(words, words)
+    def test_modified_at_least_vanilla(self, a, b):
+        # |A| <= |A ∪ B|, so J* >= J: exactly the anti-long-string bias
+        # removal the paper wants.
+        assert modified_jaccard(a, b) >= vanilla_jaccard(a, b) - 1e-12
+
+    @given(words)
+    def test_identity(self, a):
+        if a:
+            assert vanilla_jaccard(a, a) == 1.0
+            assert modified_jaccard(a, a) == 1.0
+
+    @given(words, words)
+    def test_vanilla_symmetric(self, a, b):
+        assert vanilla_jaccard(a, b) == vanilla_jaccard(b, a)
+
+    def test_long_description_bias(self):
+        # The §II-B(e) motivating case: a long detailed description must
+        # not lose to a short one under the modified index.
+        a = {"skim", "milk"}
+        long_b = {"milk", "nonfat", "fluid", "added", "vitamin", "fat",
+                  "not", "free", "skim"}
+        short_b = {"milk", "shake", "thick", "chocolate"}
+        assert modified_jaccard(a, long_b) > modified_jaccard(a, short_b)
+        assert vanilla_jaccard(a, long_b) < modified_jaccard(a, long_b)
+
+
+class TestPreprocess:
+    def test_paper_negation_example(self):
+        assert preprocess_words("unsalted butter") == ["not", "salt", "butter"]
+        assert preprocess_words("Butter, without salt") == ["butter", "not", "salt"]
+
+    def test_sets_match_after_preprocess(self):
+        assert preprocess_word_set("unsalted butter") == preprocess_word_set(
+            "Butter, without salt")
+
+    def test_stop_words_removed(self):
+        assert "with" not in preprocess_words("Butter, whipped, with salt")
+
+    def test_lemmatization(self):
+        assert preprocess_word_set("Apples, raw") == {"apple", "raw"}
+
+    def test_canonical_word_participle(self):
+        assert canonical_word("salted") == "salt"
+        assert canonical_word("chopped") == "chop"
+        assert canonical_word("apples") == "apple"
+        assert canonical_word("butter") == "butter"
+
+
+class TestPreprocessDescription:
+    def test_term_priorities(self):
+        desc = preprocess_description("Butter, whipped, with salt")
+        assert desc.term_priority["butter"] == 1
+        assert desc.term_priority["whip"] == 2
+        assert desc.term_priority["salt"] == 3
+
+    def test_first_occurrence_wins(self):
+        desc = preprocess_description("Egg, whole, raw, fresh")
+        assert desc.term_priority["egg"] == 1
+        assert desc.has_raw
+
+    def test_has_raw_false(self):
+        assert not preprocess_description("Butter, salted").has_raw
+
+    def test_numbers_dropped(self):
+        desc = preprocess_description(
+            "Milk, reduced fat, fluid, 2% milkfat, with added vitamin A "
+            "and vitamin D")
+        assert "milkfat" in desc.words
+        assert "2" not in desc.words

@@ -1,0 +1,126 @@
+"""Tests for the description matcher — heuristics (a)–(i)."""
+
+import pytest
+
+from repro.matching.matcher import DescriptionMatcher, MatcherConfig
+
+
+class TestPaperExamples:
+    """Every worked example in §II-B must reproduce."""
+
+    @pytest.mark.parametrize("name,state,expected", [
+        ("egg whites", "", "Egg, white, raw, fresh"),        # (c)
+        ("whole eggs", "", "Egg, whole, raw, fresh"),        # (c)
+        ("unsalted butter", "", "Butter, without salt"),     # (f)
+        ("apple", "", "Apples, raw, with skin"),             # (g)+(h)+(i)
+        ("eggs", "", "Egg, whole, raw, fresh"),              # (i)
+        ("egg", "", "Egg, whole, raw, fresh"),               # (i)
+        ("skim milk", "",
+         "Milk, nonfat, fluid, with added vitamin A and vitamin D "
+         "(fat free or skim)"),                              # (e)
+    ])
+    def test_heuristic_examples(self, matcher, name, state, expected):
+        result = matcher.match(name, state)
+        assert result is not None
+        assert result.description == expected
+
+    @pytest.mark.parametrize("name,state,expected", [
+        ("red lentils", "", "Lentils, pink or red, raw"),
+        ("coriander", "ground", "Coriander (cilantro) leaves, raw"),
+        ("tomato paste", "",
+         "Tomato products, canned, paste, without salt added"),
+        ("vegetable broth", "",
+         "Soup, vegetable with beef broth, canned, condensed"),
+        ("fava beans", "", "Broadbeans (fava beans), mature seeds, raw"),
+        ("cayenne pepper", "ground", "Spices, pepper, red or cayenne"),
+        ("chicken with giblets", "patted dry and quartered",
+         "Chicken, broilers or fryers, meat and skin and giblets and neck, raw"),
+        ("sesame seeds", "", "Seeds, sesame seeds, whole, dried"),
+    ])
+    def test_table_iii_modified_column(self, matcher, name, state, expected):
+        result = matcher.match(name, state)
+        assert result is not None
+        assert result.description == expected
+
+
+class TestMechanics:
+    def test_unknown_ingredient_unmatched(self, matcher):
+        assert matcher.match("garam masala") is None
+        assert matcher.match("xyzzy") is None
+
+    def test_empty_query(self, matcher):
+        assert matcher.match("") is None
+        assert matcher.match("the of and") is None
+
+    def test_state_words_alone_never_match(self, matcher):
+        # Name-word overlap is required: "bacon, diced" must not match
+        # "Babyfood, apples, dices, toddler" through the state word.
+        result = matcher.match("bacon", "diced")
+        assert result.description == "Pork, cured, bacon, unprepared"
+
+    def test_score_bounds(self, matcher):
+        result = matcher.match("butter")
+        assert 0.0 < result.score <= 1.0
+
+    def test_perfect_match_scores_one(self, matcher):
+        assert matcher.match("salt").score == 1.0
+
+    def test_cache_returns_same_object(self, matcher):
+        assert matcher.match("butter") is matcher.match("butter")
+
+    def test_match_result_fields(self, matcher):
+        result = matcher.match("red lentils")
+        assert result.food.ndb_no == "16144"
+        assert "lentil" in result.query_words
+        assert "lentil" in result.matched_words
+        assert result.db_index >= 0
+
+    def test_top_matches_ordering(self, matcher):
+        top = matcher.top_matches("egg", k=3)
+        assert len(top) == 3
+        assert top[0].description == "Egg, whole, raw, fresh"
+        scores = [t.score for t in top]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_top_matches_k_validation(self, matcher):
+        with pytest.raises(ValueError):
+            matcher.top_matches("egg", k=0)
+
+    def test_top_matches_empty_query(self, matcher):
+        assert matcher.top_matches("", k=3) == []
+
+
+class TestAblationFlags:
+    def test_vanilla_flag_changes_metric(self, db):
+        vanilla = DescriptionMatcher(db, MatcherConfig(use_modified_jaccard=False))
+        result = vanilla.match("skim milk")
+        # Under vanilla J the long fortified-milk description is
+        # penalized; whatever wins must score <= the modified score.
+        modified = DescriptionMatcher(db).match("skim milk")
+        assert result.score <= modified.score
+
+    def test_negation_ablation(self, db):
+        no_neg = DescriptionMatcher(db, MatcherConfig(rewrite_negations=False))
+        with_neg = DescriptionMatcher(db)
+        assert with_neg.match("unsalted butter").description == "Butter, without salt"
+        # Without rewriting, "unsalted" cannot reach "without salt".
+        assert no_neg.match("unsalted butter").description != "Butter, without salt"
+
+    def test_raw_bonus_ablation(self, db):
+        no_raw = DescriptionMatcher(db, MatcherConfig(raw_bonus=False))
+        # "fava beans" tie resolution relied on the raw preference;
+        # without it the (earlier-indexed) raw entry still wins only by
+        # index — both entries are in legumes, raw first, so behaviour
+        # may coincide; assert it at least still matches *a* fava food.
+        result = no_raw.match("fava beans")
+        assert "fava" in result.description.lower()
+
+    def test_priority_ablation(self, db):
+        no_priority = DescriptionMatcher(db, MatcherConfig(priority_tiebreak=False))
+        result = no_priority.match("apple")
+        assert result is not None  # still matches something apple-ish
+        assert "apple" in result.description.lower()
+
+    def test_config_exposed(self, db):
+        config = MatcherConfig(use_modified_jaccard=False)
+        assert DescriptionMatcher(db, config).config is config

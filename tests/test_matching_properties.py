@@ -1,0 +1,85 @@
+"""Property-based tests on matcher invariants."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.matching.matcher import DescriptionMatcher, MatcherConfig
+from repro.recipedb.ingredients import INGREDIENTS
+
+_NAMES = sorted({name for spec in INGREDIENTS for name in spec.names})
+_STATES = ["", "chopped", "ground", "diced", "fresh", "rinsed and drained"]
+
+names = st.sampled_from(_NAMES)
+states = st.sampled_from(_STATES)
+
+
+@pytest.fixture(scope="module")
+def matchers(db):
+    return {
+        "modified": DescriptionMatcher(db),
+        "vanilla": DescriptionMatcher(db, MatcherConfig(use_modified_jaccard=False)),
+    }
+
+
+class TestMatcherInvariants:
+    @settings(max_examples=60, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(name=names, state=states)
+    def test_scores_bounded(self, matchers, name, state):
+        for matcher in matchers.values():
+            result = matcher.match(name, state)
+            if result is not None:
+                assert 0.0 < result.score <= 1.0
+
+    @settings(max_examples=60, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(name=names, state=states)
+    def test_winner_heads_top_matches(self, matchers, name, state):
+        matcher = matchers["modified"]
+        winner = matcher.match(name, state)
+        top = matcher.top_matches(name, state, k=3)
+        if winner is None:
+            assert top == []
+        else:
+            assert top[0].food.ndb_no == winner.food.ndb_no
+
+    @settings(max_examples=60, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(name=names, state=states)
+    def test_modified_score_at_least_vanilla(self, matchers, name, state):
+        # J* >= J pointwise, so the winning modified score dominates
+        # the winning vanilla score.
+        a = matchers["modified"].match(name, state)
+        b = matchers["vanilla"].match(name, state)
+        if a is not None and b is not None:
+            assert a.score >= b.score - 1e-12
+
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(name=names)
+    def test_match_deterministic(self, matchers, name):
+        matcher = matchers["modified"]
+        first = matcher.match(name)
+        second = matcher.match(name)
+        if first is not None:
+            assert second.food.ndb_no == first.food.ndb_no
+
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(name=names)
+    def test_matched_words_subset_of_query(self, matchers, name):
+        result = matchers["modified"].match(name)
+        if result is not None:
+            assert result.matched_words <= result.query_words
+
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(name=names, state=states)
+    def test_state_never_creates_match_alone(self, matchers, name, state):
+        # Adding a state can change which food wins but never converts
+        # an unmatched name into a match via state words only.
+        matcher = matchers["modified"]
+        bare = matcher.match(name)
+        with_state = matcher.match(name, state)
+        if bare is None and state:
+            assert with_state is None

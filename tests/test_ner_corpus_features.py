@@ -1,0 +1,103 @@
+"""Tests for the NER corpus records, TSV I/O and feature templates."""
+
+import pytest
+
+from repro.ner.corpus import TAGS, TaggedPhrase, read_tsv, write_tsv
+from repro.ner.features import extract_features, token_features, word_shape
+
+
+class TestTaggedPhrase:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            TaggedPhrase(("a", "b"), ("NAME",))
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(ValueError):
+            TaggedPhrase(("a",), ("BOGUS",))
+
+    def test_entity_text(self):
+        p = TaggedPhrase(("1", "small", "onion"), ("QUANTITY", "SIZE", "NAME"))
+        assert p.entity_text("NAME") == "onion"
+        assert p.entity_text("SIZE") == "small"
+        assert p.entity_text("STATE") == ""
+
+    def test_entity_text_unknown_tag(self):
+        p = TaggedPhrase(("a",), ("NAME",))
+        with pytest.raises(ValueError):
+            p.entity_text("WHAT")
+
+    def test_spans(self):
+        p = TaggedPhrase(
+            ("1/2", "lb", "lean", "ground", "beef"),
+            ("QUANTITY", "UNIT", "STATE", "STATE", "NAME"),
+        )
+        assert p.spans() == [
+            ("QUANTITY", 0, 1), ("UNIT", 1, 2), ("STATE", 2, 4), ("NAME", 4, 5)]
+
+    def test_spans_omit_o(self):
+        p = TaggedPhrase(("onion", ",", "chopped"), ("NAME", "O", "STATE"))
+        assert ("O", 1, 2) not in p.spans()
+
+    def test_text(self):
+        p = TaggedPhrase(("1", "cup"), ("QUANTITY", "UNIT"))
+        assert p.text == "1 cup"
+
+    def test_tag_inventory(self):
+        assert set(TAGS) == {"O", "NAME", "STATE", "UNIT", "QUANTITY",
+                             "TEMP", "DF", "SIZE"}
+
+
+class TestTSV:
+    def test_round_trip(self, tmp_path):
+        phrases = [
+            TaggedPhrase(("1", "cup", "sugar"), ("QUANTITY", "UNIT", "NAME")),
+            TaggedPhrase(("salt",), ("NAME",)),
+        ]
+        path = tmp_path / "corpus.tsv"
+        write_tsv(phrases, path)
+        assert read_tsv(path) == phrases
+
+    def test_bad_line_raises(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("token with no tab\n")
+        with pytest.raises(ValueError):
+            read_tsv(path)
+
+    def test_trailing_phrase_without_blank_line(self, tmp_path):
+        path = tmp_path / "t.tsv"
+        path.write_text("salt\tNAME")
+        assert read_tsv(path) == [TaggedPhrase(("salt",), ("NAME",))]
+
+
+class TestFeatures:
+    def test_word_shapes(self):
+        assert word_shape("Onion") == "Xx"
+        assert word_shape("1/2") == "d/d"
+        assert word_shape("all-purpose") == "x-x"
+        assert word_shape("2.5") == "d.d"
+
+    def test_identity_and_context(self):
+        feats = token_features(["1", "small", "onion"], 1)
+        assert "w=small" in feats
+        assert "w-1=1" in feats
+        assert "w+1=onion" in feats
+        assert "lex=size" in feats
+        assert "prev_is_number" in feats
+
+    def test_boundaries(self):
+        tokens = ["1", "cup"]
+        assert "BOS" in token_features(tokens, 0)
+        assert "EOS" in token_features(tokens, 1)
+
+    def test_lexicon_features(self):
+        assert "lex=unit" in token_features(["cup"], 0)
+        assert "lex=temp" in token_features(["cold"], 0)
+        assert "lex=df" in token_features(["fresh"], 0)
+        assert "lex=state" in token_features(["chopped"], 0)
+        assert "is_fraction" in token_features(["1/2"], 0)
+        assert "is_punct" in token_features([","], 0)
+
+    def test_extract_features_shape(self):
+        feats = extract_features(("1", "cup", "sugar"))
+        assert len(feats) == 3
+        assert all(isinstance(f, str) for fs in feats for f in fs)

@@ -1,0 +1,131 @@
+"""Tests for NER evaluation metrics and POS-vector clustering."""
+
+import numpy as np
+import pytest
+
+from repro.ner.clustering import cluster_phrases, kmeans, select_diverse_corpus
+from repro.ner.corpus import TaggedPhrase
+from repro.ner.metrics import entity_f1, evaluate, k_fold_cross_validation
+
+
+def _phrase(tokens, tags):
+    return TaggedPhrase(tuple(tokens), tuple(tags))
+
+
+class TestEvaluate:
+    def test_perfect(self):
+        gold = [_phrase(["1", "cup"], ["QUANTITY", "UNIT"])]
+        report = evaluate(gold, gold)
+        assert report.token_accuracy == 1.0
+        assert report.entity_f1 == 1.0
+
+    def test_all_wrong(self):
+        gold = [_phrase(["salt"], ["NAME"])]
+        pred = [_phrase(["salt"], ["O"])]
+        report = evaluate(gold, pred)
+        assert report.token_accuracy == 0.0
+        assert report.entity_f1 == 0.0
+
+    def test_partial_span_not_credited(self):
+        # Entity-level: a span must match exactly.
+        gold = [_phrase(["lean", "ground", "beef"], ["STATE", "STATE", "NAME"])]
+        pred = [_phrase(["lean", "ground", "beef"], ["STATE", "NAME", "NAME"])]
+        precision, recall, f1 = entity_f1(gold, pred)
+        assert f1 == 0.0  # both spans misaligned
+        report = evaluate(gold, pred)
+        assert report.token_accuracy == pytest.approx(2 / 3)
+
+    def test_per_tag_scores(self):
+        gold = [_phrase(["1", "cup", "salt"], ["QUANTITY", "UNIT", "NAME"])]
+        pred = [_phrase(["1", "cup", "salt"], ["QUANTITY", "UNIT", "UNIT"])]
+        report = evaluate(gold, pred)
+        name = report.tag_score("NAME")
+        assert name.recall == 0.0 and name.support == 1
+        unit = report.tag_score("UNIT")
+        assert unit.precision == 0.5 and unit.recall == 1.0
+        with pytest.raises(KeyError):
+            report.tag_score("MISSING")
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            evaluate([_phrase(["a"], ["NAME"])], [])
+
+    def test_token_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            evaluate([_phrase(["a"], ["NAME"])], [_phrase(["b"], ["NAME"])])
+
+
+class TestKFold:
+    def test_reports_one_per_fold(self):
+        phrases = [
+            _phrase([f"w{i}", "cup"], ["NAME", "UNIT"]) for i in range(20)
+        ]
+
+        class Echo:
+            def predict(self, tokens):
+                return ["NAME", "UNIT"][: len(tokens)]
+
+        reports = k_fold_cross_validation(phrases, lambda train: Echo(), k=5)
+        assert len(reports) == 5
+        assert all(r.token_accuracy == 1.0 for r in reports)
+
+    def test_bad_k(self):
+        with pytest.raises(ValueError):
+            k_fold_cross_validation([], lambda t: None, k=1)
+        with pytest.raises(ValueError):
+            k_fold_cross_validation(
+                [_phrase(["a"], ["NAME"])], lambda t: None, k=5)
+
+
+class TestKMeans:
+    def test_separates_obvious_clusters(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(0, 0.1, size=(30, 2))
+        b = rng.normal(5, 0.1, size=(30, 2))
+        labels, centroids = kmeans(np.vstack([a, b]), k=2, seed=1)
+        assert len(set(labels[:30])) == 1
+        assert len(set(labels[30:])) == 1
+        assert labels[0] != labels[30]
+
+    def test_k_capped_at_n(self):
+        labels, centroids = kmeans(np.zeros((3, 2)), k=10, seed=0)
+        assert len(labels) == 3
+
+    def test_deterministic(self):
+        pts = np.random.default_rng(2).normal(size=(40, 3))
+        l1, _ = kmeans(pts, k=4, seed=9)
+        l2, _ = kmeans(pts, k=4, seed=9)
+        assert np.array_equal(l1, l2)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            kmeans(np.zeros((3, 2)), k=0)
+
+    def test_empty_points(self):
+        with pytest.raises(ValueError):
+            kmeans(np.zeros((0, 2)), k=2)
+
+
+class TestDiverseSelection:
+    def test_split_sizes_and_disjoint(self):
+        phrases = [["1", "cup", "sugar"]] * 40 + [["salt", ",", "chopped"]] * 40
+        train, test = select_diverse_corpus(phrases, 30, 10, k=4)
+        assert len(train) == 30 and len(test) == 10
+        assert not set(train) & set(test)
+
+    def test_covers_clusters(self):
+        numeric = [["1", "cup", "flour"]] * 50
+        texty = [["salt", "to", "taste"]] * 50
+        phrases = numeric + texty
+        train, test = select_diverse_corpus(phrases, 40, 20, k=2)
+        # Both shapes must appear in both splits.
+        assert any(i < 50 for i in train) and any(i >= 50 for i in train)
+        assert any(i < 50 for i in test) and any(i >= 50 for i in test)
+
+    def test_oversized_request_rejected(self):
+        with pytest.raises(ValueError):
+            select_diverse_corpus([["a"]] * 5, 4, 3)
+
+    def test_cluster_labels_shape(self):
+        labels = cluster_phrases([["1", "cup"]] * 10, k=3)
+        assert len(labels) == 10

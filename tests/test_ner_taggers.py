@@ -1,0 +1,121 @@
+"""Tests for the perceptron, CRF and rule-based taggers."""
+
+import pytest
+
+from repro.ner.corpus import TaggedPhrase
+from repro.ner.crf import LinearChainCRF
+from repro.ner.metrics import evaluate
+from repro.ner.perceptron import AveragedPerceptronTagger
+from repro.ner.rule_tagger import RuleBasedTagger
+
+
+@pytest.fixture(scope="module")
+def training_phrases(generator):
+    return [item.tagged for item in generator.generate_phrases(400)]
+
+
+class TestRuleTagger:
+    def test_table_i_simple_rows(self):
+        tagger = RuleBasedTagger()
+        assert tagger.predict(["1", "teaspoon", "salt"]) == [
+            "QUANTITY", "UNIT", "NAME"]
+        assert tagger.predict(["1/2", "lb", "lean", "ground", "beef"]) == [
+            "QUANTITY", "UNIT", "STATE", "STATE", "NAME"]
+        assert tagger.predict(
+            ["1", "tablespoon", "cold", "water"]) == [
+            "QUANTITY", "UNIT", "TEMP", "NAME"]
+        assert tagger.predict(
+            ["1", "tablespoon", "fresh", "dill", "weed"]) == [
+            "QUANTITY", "UNIT", "DF", "NAME", "NAME"]
+
+    def test_packaging_parenthetical_zeroed(self):
+        tags = RuleBasedTagger().predict(
+            ["1", "(", "15", "ounce", ")", "can", "black", "beans"])
+        assert tags[2] == "O" and tags[3] == "O"
+        assert tags[5] == "UNIT"
+
+    def test_fl_oz(self):
+        tags = RuleBasedTagger().predict(["4", "fl", "oz", "milk"])
+        assert tags[1] == "UNIT" and tags[2] == "UNIT"
+
+    def test_unit_without_number_becomes_name(self):
+        assert RuleBasedTagger().predict(["garlic", "clove"]) == [
+            "NAME", "NAME"]
+
+    def test_tag_phrase_wrapper(self):
+        phrase = RuleBasedTagger().tag_phrase(["1", "cup", "sugar"])
+        assert isinstance(phrase, TaggedPhrase)
+
+
+class TestPerceptron:
+    def test_learns_corpus(self, training_phrases):
+        tagger = AveragedPerceptronTagger()
+        tagger.train(training_phrases[:320], epochs=5)
+        predicted = [
+            TaggedPhrase(p.tokens, tuple(tagger.predict(p.tokens)))
+            for p in training_phrases[320:]
+        ]
+        report = evaluate(training_phrases[320:], predicted)
+        assert report.token_accuracy > 0.95
+        assert report.entity_f1 > 0.90
+
+    def test_beats_rules(self, training_phrases):
+        tagger = AveragedPerceptronTagger()
+        tagger.train(training_phrases[:320], epochs=5)
+        test = training_phrases[320:]
+        learned = evaluate(test, [
+            TaggedPhrase(p.tokens, tuple(tagger.predict(p.tokens))) for p in test])
+        rules = evaluate(test, [
+            TaggedPhrase(p.tokens, tuple(RuleBasedTagger().predict(p.tokens)))
+            for p in test])
+        assert learned.entity_f1 >= rules.entity_f1
+
+    def test_deterministic_given_seed(self, training_phrases):
+        a = AveragedPerceptronTagger(seed=3)
+        b = AveragedPerceptronTagger(seed=3)
+        a.train(training_phrases[:100], epochs=2)
+        b.train(training_phrases[:100], epochs=2)
+        tokens = list(training_phrases[200].tokens)
+        assert a.predict(tokens) == b.predict(tokens)
+
+    def test_empty_input(self, training_phrases):
+        tagger = AveragedPerceptronTagger()
+        tagger.train(training_phrases[:50], epochs=1)
+        assert tagger.predict([]) == []
+
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(ValueError):
+            AveragedPerceptronTagger().train([])
+
+    def test_bad_epochs_rejected(self, training_phrases):
+        with pytest.raises(ValueError):
+            AveragedPerceptronTagger().train(training_phrases[:10], epochs=0)
+
+
+class TestCRF:
+    def test_learns_small_corpus(self, training_phrases):
+        crf = LinearChainCRF(max_iter=30)
+        crf.train(training_phrases[:150])
+        predicted = [
+            TaggedPhrase(p.tokens, tuple(crf.predict(p.tokens)))
+            for p in training_phrases[150:200]
+        ]
+        report = evaluate(training_phrases[150:200], predicted)
+        assert report.token_accuracy > 0.9
+
+    def test_untrained_predict_raises(self):
+        with pytest.raises(RuntimeError):
+            LinearChainCRF().predict(["1", "cup"])
+
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(ValueError):
+            LinearChainCRF().train([])
+
+    def test_negative_l2_rejected(self):
+        with pytest.raises(ValueError):
+            LinearChainCRF(l2=-1.0)
+
+    def test_empty_sequence(self, training_phrases):
+        crf = LinearChainCRF(max_iter=5)
+        crf.train(training_phrases[:30])
+        assert crf.predict([]) == []

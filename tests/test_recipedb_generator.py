@@ -1,0 +1,126 @@
+"""Tests for the synthetic RecipeDB corpus generator."""
+
+import pytest
+
+from repro.recipedb.corpus import load_recipes_jsonl, save_recipes_jsonl
+from repro.recipedb.cuisines import CUISINES, STAPLES
+from repro.recipedb.generator import GeneratorConfig, RecipeGenerator
+from repro.recipedb.ingredients import (
+    INGREDIENTS,
+    mappable_specs,
+    spec_by_key,
+    unmappable_specs,
+)
+
+
+class TestSpecs:
+    def test_spec_lookup(self):
+        assert spec_by_key("butter").ndb_no == "01001"
+        with pytest.raises(KeyError):
+            spec_by_key("nope")
+
+    def test_all_mappable_ndbs_exist(self, db):
+        for spec in mappable_specs():
+            assert spec.ndb_no in db, spec.key
+
+    def test_unmappable_have_hidden_nutrition(self):
+        specs = unmappable_specs()
+        assert len(specs) >= 10
+        for spec in specs:
+            assert spec.kcal_per_100g is not None and spec.kcal_per_100g > 0
+
+    def test_paper_unmappable_example_present(self):
+        # §III names garam masala as the canonical unmapped ingredient.
+        assert spec_by_key("garam_masala").ndb_no is None
+
+    def test_26_cuisines_reference_valid_specs(self):
+        assert len(CUISINES) == 26
+        keys = {spec.key for spec in INGREDIENTS}
+        for cuisine, pool in CUISINES.items():
+            assert len(pool) >= 10, cuisine
+            for key in pool:
+                assert key in keys, (cuisine, key)
+        for staple in STAPLES:
+            assert staple in keys
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        a = RecipeGenerator().generate(10)
+        b = RecipeGenerator().generate(10)
+        assert [r.title for r in a] == [r.title for r in b]
+        assert [i.text for r in a for i in r.ingredients] == [
+            i.text for r in b for i in r.ingredients]
+
+    def test_seed_changes_output(self):
+        a = RecipeGenerator(config=GeneratorConfig(seed=1)).generate(10)
+        b = RecipeGenerator(config=GeneratorConfig(seed=2)).generate(10)
+        assert [r.title for r in a] != [r.title for r in b]
+
+    def test_recipe_invariants(self, small_corpus):
+        for recipe in small_corpus:
+            assert recipe.servings > 0
+            assert recipe.cuisine in CUISINES
+            assert recipe.source in ("AllRecipes", "FOOD.com")
+            assert 4 <= len(recipe.ingredients) <= 12
+            assert recipe.gold_calories_per_serving >= 0.0
+
+    def test_truth_invariants(self, small_corpus, db):
+        for recipe in small_corpus:
+            for ingredient in recipe.ingredients:
+                truth = ingredient.truth
+                assert truth.grams > 0, ingredient.text
+                assert truth.kcal >= 0
+                if truth.ndb_no is not None:
+                    food = db.get(truth.ndb_no)
+                    expected = truth.grams * food.energy_kcal / 100.0
+                    assert truth.kcal == pytest.approx(expected, rel=1e-6)
+
+    def test_gold_label_near_truth(self, small_corpus):
+        for recipe in small_corpus:
+            truth = recipe.true_kcal_per_serving
+            if truth < 50:
+                continue
+            assert recipe.gold_calories_per_serving == pytest.approx(
+                truth, rel=0.25)
+
+    def test_tags_align_with_tokens(self, small_corpus):
+        for recipe in small_corpus:
+            for ingredient in recipe.ingredients:
+                assert len(ingredient.tagged.tokens) == len(ingredient.tagged.tags)
+                assert ingredient.text == " ".join(ingredient.tagged.tokens)
+                assert "NAME" in ingredient.tagged.tags
+
+    def test_phrase_pool(self, generator):
+        items = generator.generate_phrases(50)
+        assert len(items) == 50
+        assert len({item.text for item in items}) > 25  # diverse
+
+    def test_bad_args(self, generator):
+        with pytest.raises(ValueError):
+            generator.generate(0)
+        with pytest.raises(ValueError):
+            generator.generate_phrases(-1)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig(min_ingredients=5, max_ingredients=3)
+        with pytest.raises(ValueError):
+            GeneratorConfig(p_trailer=1.5)
+
+
+class TestJSONLRoundTrip:
+    def test_round_trip(self, small_corpus, tmp_path):
+        path = tmp_path / "corpus.jsonl"
+        save_recipes_jsonl(small_corpus, path)
+        reloaded = load_recipes_jsonl(path)
+        assert len(reloaded) == len(small_corpus)
+        for a, b in zip(small_corpus, reloaded):
+            assert a.recipe_id == b.recipe_id
+            assert a.servings == b.servings
+            assert a.gold_calories_per_serving == pytest.approx(
+                b.gold_calories_per_serving)
+            assert [i.text for i in a.ingredients] == [
+                i.text for i in b.ingredients]
+            assert [i.truth.grams for i in a.ingredients] == pytest.approx(
+                [i.truth.grams for i in b.ingredients])

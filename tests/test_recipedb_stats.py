@@ -1,0 +1,41 @@
+"""Tests for corpus statistics."""
+
+import pytest
+
+from repro.recipedb.stats import corpus_stats, render_stats
+
+
+class TestCorpusStats:
+    def test_basic_counts(self, small_corpus):
+        stats = corpus_stats(small_corpus)
+        assert stats.n_recipes == len(small_corpus)
+        assert stats.n_ingredient_lines == sum(
+            len(r.ingredients) for r in small_corpus)
+        assert 4 <= stats.mean_ingredients_per_recipe <= 12
+        assert stats.mean_tokens_per_phrase > 2
+
+    def test_ingredient_frequency_sorted(self, small_corpus):
+        stats = corpus_stats(small_corpus)
+        counts = [count for _, count in stats.ingredient_frequency]
+        assert counts == sorted(counts, reverse=True)
+        assert sum(counts) == stats.n_ingredient_lines
+
+    def test_staples_dominate(self, small_corpus):
+        stats = corpus_stats(small_corpus)
+        top_keys = {key for key, _ in stats.top_ingredients(15)}
+        # Staples are in every cuisine pool, so some must rank high.
+        assert top_keys & {"salt", "black_pepper", "olive_oil", "butter",
+                           "water", "onion", "garlic", "egg", "flour",
+                           "sugar", "vegetable_oil"}
+
+    def test_unmappable_fraction_band(self, small_corpus):
+        stats = corpus_stats(small_corpus)
+        assert 0.0 <= stats.unmappable_line_fraction < 0.2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            corpus_stats([])
+
+    def test_render(self, small_corpus):
+        text = render_stats(corpus_stats(small_corpus))
+        assert "recipes:" in text and "top 15 ingredients:" in text

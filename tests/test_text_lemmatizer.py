@@ -1,0 +1,104 @@
+"""Tests for repro.text.lemmatizer."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.text.lemmatizer import (
+    WordNetStyleLemmatizer,
+    default_lemmatizer,
+    lemmatize,
+)
+
+
+class TestNounLemmas:
+    @pytest.mark.parametrize("plural,singular", [
+        ("apples", "apple"),
+        ("berries", "berry"),
+        ("cherries", "cherry"),
+        ("tomatoes", "tomato"),
+        ("potatoes", "potato"),
+        ("leaves", "leaf"),
+        ("loaves", "loaf"),
+        ("halves", "half"),
+        ("knives", "knife"),
+        ("cups", "cup"),
+        ("teaspoons", "teaspoon"),
+        ("pinches", "pinch"),
+        ("dashes", "dash"),
+        ("boxes", "box"),
+        ("eggs", "egg"),
+        ("lentils", "lentil"),
+        ("shakes", "shake"),
+        ("onions", "onion"),
+    ])
+    def test_plural_to_singular(self, plural, singular):
+        assert lemmatize(plural) == singular
+
+    @pytest.mark.parametrize("word", [
+        "molasses", "couscous", "hummus", "asparagus", "swiss", "citrus",
+        "watercress", "grits",
+    ])
+    def test_uninflected_pass_through(self, word):
+        assert lemmatize(word) == word
+
+    def test_singular_unchanged(self):
+        assert lemmatize("butter") == "butter"
+        assert lemmatize("milk") == "milk"
+
+    def test_case_insensitive(self):
+        assert lemmatize("Apples") == "apple"
+
+    def test_short_tokens_unchanged(self):
+        assert lemmatize("is") == "is"
+        assert lemmatize("g") == "g"
+
+    def test_ss_endings_unchanged(self):
+        assert lemmatize("glass") == "glass"
+
+
+class TestVerbLemmas:
+    @pytest.mark.parametrize("form,lemma", [
+        ("chopped", "chop"),
+        ("diced", "dice"),
+        ("minced", "mince"),
+        ("ground", "grind"),
+        ("frozen", "freeze"),
+        ("beaten", "beat"),
+        ("shredded", "shred"),
+        ("dried", "dry"),
+        ("salted", "salt"),
+    ])
+    def test_participles(self, form, lemma):
+        assert lemmatize(form, pos="v") == lemma
+
+    def test_chopping_gerund(self):
+        assert lemmatize("chopping", pos="v") == "chop"
+
+
+class TestAPI:
+    def test_unknown_pos_raises(self):
+        with pytest.raises(ValueError):
+            lemmatize("apples", pos="adj")
+
+    def test_vocabulary_extension_validates_candidates(self):
+        lem = WordNetStyleLemmatizer({"quinces"})
+        lem.add_vocabulary({"quince"})
+        assert lem.lemmatize("quinces") == "quince"
+
+    def test_default_is_shared(self):
+        assert default_lemmatizer() is default_lemmatizer()
+
+    def test_callable(self):
+        assert default_lemmatizer()("apples") == "apple"
+
+    @given(st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1,
+                   max_size=15))
+    def test_idempotent_on_own_output(self, word):
+        lem = default_lemmatizer()
+        once = lem.lemmatize(word)
+        assert lem.lemmatize(once) == once
+
+    @given(st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=3,
+                   max_size=15))
+    def test_lemma_never_longer(self, word):
+        assert len(lemmatize(word)) <= len(word) + 1  # ves -> f+e edge

@@ -1,0 +1,64 @@
+"""Tests for the coarse POS tagger and tag-frequency vectors."""
+
+import numpy as np
+from hypothesis import given, strategies as st
+
+from repro.text.pos import TAGSET, CoarsePOSTagger, pos_tags, tag_frequency_vector
+from repro.text.tokenize import tokenize
+
+
+class TestTagger:
+    def test_basic_phrase(self):
+        assert pos_tags(["1", "small", "onion"]) == ["CD", "JJ", "NN"]
+
+    def test_fraction_is_cd(self):
+        assert pos_tags(["1/2"]) == ["CD"]
+
+    def test_punct(self):
+        assert pos_tags([","]) == ["PUNCT"]
+
+    def test_participle(self):
+        assert pos_tags(["chopped"]) == ["VBN"]
+
+    def test_adverb(self):
+        assert pos_tags(["finely"]) == ["RB"]
+
+    def test_gerund(self):
+        assert pos_tags(["boiling"]) == ["VBG"]
+
+    def test_plural_noun(self):
+        assert pos_tags(["cups"]) == ["NNS"]
+
+    def test_conjunction_and_preposition(self):
+        assert pos_tags(["or"]) == ["CC"]
+        assert pos_tags(["of"]) == ["IN"]
+
+    def test_hyphenated_adjective(self):
+        assert pos_tags(["all-purpose"]) == ["JJ"]
+
+    def test_empty_token(self):
+        assert CoarsePOSTagger().tag_word("") == "SYM"
+
+    def test_tags_are_in_tagset(self):
+        phrase = tokenize("3/4 cup butter or 3/4 cup margarine , softened")
+        for tag in pos_tags(phrase):
+            assert tag in TAGSET
+
+
+class TestTagFrequencyVector:
+    def test_shape_and_counts(self):
+        vec = tag_frequency_vector(["1", "small", "onion"])
+        assert vec.shape == (len(TAGSET),)
+        assert vec.sum() == 3.0
+        assert vec[TAGSET.index("CD")] == 1.0
+
+    def test_zero_for_empty(self):
+        assert tag_frequency_vector([]).sum() == 0.0
+
+    @given(st.lists(st.sampled_from(
+        ["1", "1/2", "cup", "cups", "chopped", "finely", "onion", ",", "or"]),
+        max_size=12))
+    def test_sum_equals_length(self, tokens):
+        vec = tag_frequency_vector(tokens)
+        assert vec.sum() == len(tokens)
+        assert np.all(vec >= 0)

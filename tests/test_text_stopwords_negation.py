@@ -1,0 +1,75 @@
+"""Tests for stop words and negation rewriting."""
+
+from repro.text.negation import rewrite_negations
+from repro.text.stopwords import STOP_WORDS, remove_stop_words
+
+
+class TestStopWords:
+    def test_negation_carriers_absent(self):
+        # §II-B(f) depends on "not" surviving stop-word removal.
+        for carrier in ("not", "no", "non", "without"):
+            assert carrier not in STOP_WORDS
+
+    def test_common_words_present(self):
+        for word in ("the", "with", "and", "or", "of"):
+            assert word in STOP_WORDS
+
+    def test_removal_preserves_order(self):
+        assert remove_stop_words(["butter", "with", "salt"]) == [
+            "butter", "salt"]
+
+    def test_removal_case_insensitive(self):
+        assert remove_stop_words(["The", "butter"]) == ["butter"]
+
+    def test_empty(self):
+        assert remove_stop_words([]) == []
+
+
+class TestNegationRewriting:
+    def test_unsalted(self):
+        assert rewrite_negations(["unsalted", "butter"]) == [
+            "not", "salted", "butter"]
+
+    def test_without(self):
+        assert rewrite_negations(["butter", "without", "salt"]) == [
+            "butter", "not", "salt"]
+
+    def test_paper_example_symmetric(self):
+        # Paper: phrase and description become "not salt butter" and
+        # "butter not salt" — the same word set.
+        phrase = rewrite_negations(["unsalted", "butter"])
+        description = rewrite_negations(["butter", "without", "salt"])
+        assert set(phrase) - {"salted"} <= set(description) | {"salted"}
+
+    def test_nonfat(self):
+        assert rewrite_negations(["nonfat", "milk"]) == ["not", "fat", "milk"]
+
+    def test_fat_free_two_tokens(self):
+        assert rewrite_negations(["fat", "free", "yogurt"]) == [
+            "fat", "not", "yogurt"]
+
+    def test_fatfree_suffix(self):
+        assert rewrite_negations(["fatfree"]) == ["fat", "not"]
+
+    def test_sugarless(self):
+        assert rewrite_negations(["sugarless", "gum"]) == ["sugar", "not", "gum"]
+
+    def test_union_not_mangled(self):
+        # Guard list: "un" prefix only strips before known bases.
+        assert rewrite_negations(["union"]) == ["union"]
+        assert rewrite_negations(["uncle"]) == ["uncle"]
+
+    def test_nonpareil_not_mangled(self):
+        assert rewrite_negations(["nonpareil"]) == ["nonpareil"]
+
+    def test_free_standalone_kept(self):
+        # "free" only negates after a known base.
+        assert rewrite_negations(["free", "range", "eggs"]) == [
+            "free", "range", "eggs"]
+
+    def test_lowercasing(self):
+        assert rewrite_negations(["Unsalted"]) == ["not", "salted"]
+
+    def test_no_becomes_not(self):
+        assert rewrite_negations(["no", "salt", "added"]) == [
+            "not", "salt", "added"]

@@ -1,0 +1,83 @@
+"""Tests for repro.text.tokenize."""
+
+from hypothesis import given, strategies as st
+
+from repro.text.tokenize import normalize_unicode, tokenize, word_tokens
+
+
+class TestNormalizeUnicode:
+    def test_vulgar_fraction(self):
+        assert normalize_unicode("½ cup") == "1/2 cup"
+
+    def test_mixed_number_gets_space(self):
+        assert normalize_unicode("2½ cups") == "2 1/2 cups"
+
+    def test_fraction_slash(self):
+        assert normalize_unicode("1⁄2") == "1/2"
+
+    def test_plain_text_unchanged(self):
+        assert normalize_unicode("1 small onion") == "1 small onion"
+
+    def test_all_fraction_glyphs(self):
+        for glyph, expected in [("¼", "1/4"), ("¾", "3/4"), ("⅓", "1/3"),
+                                ("⅔", "2/3"), ("⅛", "1/8"), ("⅝", "5/8")]:
+            assert normalize_unicode(glyph) == expected
+
+
+class TestTokenize:
+    def test_simple_phrase(self):
+        assert tokenize("1 small onion , finely chopped") == [
+            "1", "small", "onion", ",", "finely", "chopped"]
+
+    def test_fraction_kept_whole(self):
+        assert tokenize("1/2 lb beef") == ["1/2", "lb", "beef"]
+
+    def test_spaced_fraction_collapsed(self):
+        assert tokenize("1 / 2 cup") == ["1/2", "cup"]
+
+    def test_decimal(self):
+        assert tokenize("2.5 cups") == ["2.5", "cups"]
+
+    def test_hyphenated_word_kept(self):
+        assert tokenize("1 hard-cooked egg") == ["1", "hard-cooked", "egg"]
+
+    def test_unicode_mixed_number(self):
+        assert tokenize("2½ cups all-purpose flour") == [
+            "2", "1/2", "cups", "all-purpose", "flour"]
+
+    def test_comma_glued(self):
+        assert tokenize("black pepper,minced") == [
+            "black", "pepper", ",", "minced"]
+
+    def test_parenthetical(self):
+        assert tokenize('pat (1" sq, 1/3" high)') == [
+            "pat", "(", "1", '"', "sq", ",", "1/3", '"', "high", ")"]
+
+    def test_empty(self):
+        assert tokenize("") == []
+
+    def test_apostrophe_word(self):
+        assert tokenize("confectioners' sugar") == [
+            "confectioners", "'", "sugar"]
+
+
+class TestWordTokens:
+    def test_drops_numbers_and_punct(self):
+        assert word_tokens("1/2 cup low-fat sour cream") == [
+            "cup", "low", "fat", "sour", "cream"]
+
+    def test_lowercases(self):
+        assert word_tokens("Butter, SALTED") == ["butter", "salted"]
+
+    def test_splits_hyphens(self):
+        assert word_tokens("all-purpose flour") == ["all", "purpose", "flour"]
+
+    @given(st.text(max_size=80))
+    def test_never_crashes_and_alpha_only(self, text):
+        for word in word_tokens(text):
+            assert word == word.lower()
+            assert any(c.isalpha() for c in word)
+
+    @given(st.text(alphabet="0123456789/ .,-", max_size=40))
+    def test_numeric_text_yields_no_words(self, text):
+        assert word_tokens(text) == []

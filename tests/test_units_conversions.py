@@ -1,0 +1,64 @@
+"""Tests for the Book-of-Yields conversion tables."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.units.conversions import (
+    MASS_GRAMS,
+    VOLUME_ML,
+    convert,
+    is_mass_unit,
+    is_volume_unit,
+    mass_grams,
+    volume_ratio,
+)
+
+
+class TestTables:
+    def test_paper_equivalences(self):
+        # "'1 cup' is equivalent to '16 tbsp' and '48 tsp' and so on"
+        assert volume_ratio("cup", "tablespoon") == pytest.approx(16.0, rel=1e-3)
+        assert volume_ratio("cup", "teaspoon") == pytest.approx(48.0, rel=1e-3)
+        assert volume_ratio("tablespoon", "teaspoon") == pytest.approx(3.0, rel=1e-3)
+        assert volume_ratio("gallon", "quart") == pytest.approx(4.0, rel=1e-3)
+        assert volume_ratio("quart", "pint") == pytest.approx(2.0, rel=1e-3)
+        assert volume_ratio("cup", "fluid ounce") == pytest.approx(8.0, rel=1e-3)
+
+    def test_mass_equivalences(self):
+        assert mass_grams("pound") / mass_grams("ounce") == pytest.approx(16.0)
+        assert mass_grams("kilogram") == 1000.0
+
+    def test_kind_predicates_disjoint(self):
+        assert not (set(VOLUME_ML) & set(MASS_GRAMS))
+        assert is_volume_unit("cup") and not is_mass_unit("cup")
+        assert is_mass_unit("gram") and not is_volume_unit("gram")
+
+
+class TestConvert:
+    def test_volume(self):
+        assert convert(2.0, "cup", "tablespoon") == pytest.approx(32.0, rel=1e-3)
+
+    def test_mass(self):
+        assert convert(2.0, "pound", "ounce") == pytest.approx(32.0)
+
+    def test_cross_kind_raises(self):
+        with pytest.raises(ValueError):
+            convert(1.0, "cup", "gram")
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError):
+            convert(1.0, "cup", "sprig")
+
+    @given(st.sampled_from(sorted(VOLUME_ML)), st.sampled_from(sorted(VOLUME_ML)),
+           st.floats(min_value=0.01, max_value=100, allow_nan=False))
+    def test_round_trip(self, a, b, amount):
+        there = convert(amount, a, b)
+        back = convert(there, b, a)
+        assert back == pytest.approx(amount, rel=1e-9)
+
+    @given(st.sampled_from(sorted(VOLUME_ML)), st.sampled_from(sorted(VOLUME_ML)),
+           st.sampled_from(sorted(VOLUME_ML)))
+    def test_transitivity(self, a, b, c):
+        direct = volume_ratio(a, c)
+        via = volume_ratio(a, b) * volume_ratio(b, c)
+        assert via == pytest.approx(direct, rel=1e-9)

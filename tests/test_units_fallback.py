@@ -1,0 +1,57 @@
+"""Tests for the §II-C unit fallback heuristics."""
+
+import pytest
+
+from repro.units.fallback import UnitFallback, scan_for_unit
+
+
+class TestScanForUnit:
+    def test_paper_500g_example(self):
+        assert scan_for_unit("500 g flour or 1 cup") == "gram"
+
+    def test_first_unit_wins(self):
+        assert scan_for_unit("1 cup or 2 tbsp") == "cup"
+
+    def test_no_unit(self):
+        assert scan_for_unit("2 eggs , beaten") is None
+
+    def test_alias_scanned(self):
+        assert scan_for_unit("2 tbsp butter") == "tablespoon"
+
+
+class TestUnitFallback:
+    def test_most_frequent_unit(self):
+        fb = UnitFallback()
+        for _ in range(5):
+            fb.observe("garlic", "clove")
+        fb.observe("garlic", "teaspoon")
+        # Paper: "for garlic, if the unit was not detected, it would
+        # most probably be clove".
+        assert fb.most_frequent_unit("garlic") == "clove"
+
+    def test_case_insensitive_names(self):
+        fb = UnitFallback()
+        fb.observe("Garlic", "clove")
+        assert fb.most_frequent_unit("garlic") == "clove"
+
+    def test_unseen_returns_none(self):
+        assert UnitFallback().most_frequent_unit("x") is None
+
+    def test_plausibility_threshold(self):
+        fb = UnitFallback(max_grams=5000.0)
+        # "500 cups" of anything fails the threshold.
+        assert not fb.plausible(500.0, 236.0)
+        assert fb.plausible(2.0, 236.0)
+        assert not fb.plausible(0.0, 10.0)
+
+    def test_bad_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            UnitFallback(max_grams=0.0)
+
+    def test_distribution(self):
+        fb = UnitFallback()
+        fb.observe("salt", "teaspoon")
+        fb.observe("salt", "teaspoon")
+        fb.observe("salt", "tablespoon")
+        assert fb.unit_distribution("salt") == {"teaspoon": 2, "tablespoon": 1}
+        assert fb.observed_ingredients() == ["salt"]

@@ -1,0 +1,82 @@
+"""Tests for unit normalization and the alias table."""
+
+import pytest
+
+from repro.units.aliases import CANONICAL_UNITS, SIZE_UNITS, canonicalize_unit
+from repro.units.normalize import clean_unit_token, normalize_unit
+
+
+class TestCanonicalize:
+    @pytest.mark.parametrize("alias,canonical", [
+        ("tbsp", "tablespoon"),
+        ("tbs", "tablespoon"),
+        ("tsp", "teaspoon"),
+        ("lb", "pound"),
+        ("lbs", "pound"),
+        ("oz", "ounce"),
+        ("g", "gram"),
+        ("kg", "kilogram"),
+        ("ml", "milliliter"),
+        ("pt", "pint"),
+        ("qt", "quart"),
+        ("gal", "gallon"),
+        ("pkg", "package"),
+        ("cup", "cup"),
+        ("floz", "fluid ounce"),
+    ])
+    def test_aliases(self, alias, canonical):
+        assert canonicalize_unit(alias) == canonical
+
+    def test_unknown_returns_none(self):
+        assert canonicalize_unit("wombat") is None
+
+    def test_sizes_are_canonical_units(self):
+        assert SIZE_UNITS <= CANONICAL_UNITS
+
+
+class TestCleanUnitToken:
+    def test_paper_pat_example(self):
+        assert clean_unit_token('pat (1" sq, 1/3" high)') == "pat"
+
+    def test_lemmatizes_plural(self):
+        assert clean_unit_token("cups") == "cup"
+
+    def test_first_word_rule(self):
+        assert clean_unit_token("cup, shredded") == "cup"
+
+    def test_fl_oz_joined(self):
+        assert clean_unit_token("fl oz") == "floz"
+
+    def test_empty_and_numeric(self):
+        assert clean_unit_token("") is None
+        assert clean_unit_token("1/2") is None
+
+    def test_qualifier_skipped(self):
+        assert clean_unit_token("heaping tablespoon") == "tablespoon"
+
+
+class TestNormalizeUnit:
+    @pytest.mark.parametrize("raw,expected", [
+        ('pat (1" sq, 1/3" high)', "pat"),
+        ("Tbsps", "tablespoon"),
+        ("cups, sliced", "cup"),
+        ("fl oz", "fluid ounce"),
+        ("fluid ounces", "fluid ounce"),
+        ("large (3-1/4\" dia)", "large"),
+        ("cup, crumbled, not packed", "cup"),
+        ("slice (1 oz)", "slice"),
+        ("container (8 oz)", "container"),
+        ("medium whole (2-3/5\" dia)", "medium"),
+        ("leaves", "leaf"),
+        ("10 sprigs", "sprig"),
+        ("LB", "pound"),
+    ])
+    def test_normalization(self, raw, expected):
+        assert normalize_unit(raw) == expected
+
+    def test_unknown_unit_none(self):
+        assert normalize_unit("zorgles") is None
+
+    def test_all_canonical_units_self_normalize(self):
+        for unit in CANONICAL_UNITS:
+            assert normalize_unit(unit) == unit, unit

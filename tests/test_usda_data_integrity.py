@@ -1,0 +1,104 @@
+"""Integrity checks over the embedded curated SR subset."""
+
+import pytest
+
+from repro.eval.tables import TABLE_II_DESCRIPTIONS
+from repro.units.normalize import normalize_unit
+from repro.usda.nutrients import NUTRIENT_KEYS
+
+
+class TestDataIntegrity:
+    def test_every_paper_table_ii_description_present(self, db):
+        present = {f.description for f in db}
+        for description in TABLE_II_DESCRIPTIONS:
+            assert description in present, description
+
+    def test_table_iii_foods_present(self, db):
+        for description in [
+            "Lentils, pink or red, raw",
+            "Cherries, sour, red, raw",
+            "Soup, tomato beef with noodle, canned, condensed",
+            "Soup, tomato, canned, condensed",
+            "Coriander (cilantro) leaves, raw",
+            "Spices, coriander leaf, dried",
+            "Tomato products, canned, paste, without salt added",
+            "Soup, vegetable with beef broth, canned, condensed",
+            "Soup, vegetable broth, ready to serve",
+            "Broadbeans (fava beans), mature seeds, raw",
+            "Beans, fava, in pod, raw",
+            "Spices, pepper, red or cayenne",
+            "Spices, pepper, black",
+            "Chicken, broilers or fryers, meat and skin and giblets and neck, raw",
+            "Fast foods, quesadilla, with chicken",
+            "Salad dressing, sesame seed dressing, regular",
+            "Seeds, sesame seeds, whole, dried",
+            "Babyfood, apples, dices, toddler",
+        ]:
+            db.by_description(description)  # raises KeyError if absent
+
+    def test_table_iv_butter_portions(self, db):
+        butter = db.get("01001")
+        portions = {p.unit: (p.amount, p.grams) for p in butter.portions}
+        assert portions['pat (1" sq, 1/3" high)'] == (1.0, 5.0)
+        assert portions["tbsp"] == (1.0, 14.2)
+        assert portions["cup"] == (1.0, 227.0)
+        assert portions["stick"] == (1.0, 113.0)
+
+    def test_nutrient_values_physical(self, db):
+        for food in db:
+            energy = food.nutrients.get("energy_kcal", 0.0)
+            assert 0.0 <= energy <= 902.0, food.description  # lard is max
+            for key, value in food.nutrients.items():
+                assert value >= 0.0, (food.description, key)
+            for macro in ("protein_g", "fat_g", "carbohydrate_g"):
+                assert food.nutrients.get(macro, 0.0) <= 100.0, food.description
+
+    def test_energy_consistent_with_macros(self, db):
+        # Atwater sanity: 4P + 4C + 9F approximates energy within a
+        # loose band (fiber, alcohol and rounding blur it).
+        for food in db:
+            n = food.nutrients
+            if "energy_kcal" not in n:
+                continue
+            atwater = (4 * n.get("protein_g", 0.0)
+                       + 4 * n.get("carbohydrate_g", 0.0)
+                       + 9 * n.get("fat_g", 0.0))
+            energy = n["energy_kcal"]
+            if (energy < 25 or food.food_group == "Beverages"
+                    or "extract" in food.description.lower()):
+                continue  # acetic-acid/alcohol calories, tiny values
+            assert atwater >= 0.4 * energy, (food.description, atwater, energy)
+            assert atwater <= 2.1 * energy + 30, (food.description, atwater, energy)
+
+    def test_portion_sequences_start_at_one(self, db):
+        for food in db:
+            if food.portions:
+                assert food.portions[0].seq == 1, food.description
+                seqs = [p.seq for p in food.portions]
+                assert seqs == sorted(seqs), food.description
+
+    def test_portion_grams_positive_and_sane(self, db):
+        for food in db:
+            for portion in food.portions:
+                assert 0 < portion.grams <= 4000, (food.description, portion)
+
+    def test_most_portion_units_normalizable(self, db):
+        total = unknown = 0
+        for food in db:
+            for portion in food.portions:
+                total += 1
+                if normalize_unit(portion.unit) is None:
+                    unknown += 1
+        assert total > 600
+        assert unknown / total < 0.05, f"{unknown}/{total} units unnormalizable"
+
+    def test_nutrient_keys_canonical(self, db):
+        for food in db:
+            assert set(food.nutrients) <= set(NUTRIENT_KEYS)
+
+    def test_ndb_numbers_unique_and_wellformed(self, db):
+        seen = set()
+        for food in db:
+            assert food.ndb_no not in seen
+            seen.add(food.ndb_no)
+            assert food.ndb_no.isdigit() and len(food.ndb_no) == 5

@@ -1,0 +1,87 @@
+"""Tests for the SR ASCII loader and JSON round trip."""
+
+import pytest
+
+from repro.usda.loader import (
+    SRFormatError,
+    dump_sr_directory,
+    from_json,
+    load_sr_directory,
+    parse_sr_fields,
+    to_json,
+)
+
+
+class TestParseSRFields:
+    def test_text_fields(self):
+        assert parse_sr_fields("~01001~^~0100~^~Butter, salted~") == [
+            "01001", "0100", "Butter, salted"]
+
+    def test_numeric_fields(self):
+        assert parse_sr_fields("~01001~^~208~^717") == ["01001", "208", "717"]
+
+    def test_empty_field(self):
+        assert parse_sr_fields("~a~^^3") == ["a", None, "3"]
+
+    def test_tilde_in_middle_preserved(self):
+        assert parse_sr_fields('~pat (1" sq)~^5') == ['pat (1" sq)', "5"]
+
+
+class TestRoundTrip:
+    def test_full_round_trip(self, db, tmp_path):
+        dump_sr_directory(db, tmp_path)
+        reloaded = load_sr_directory(tmp_path)
+        assert len(reloaded) == len(db)
+        for original in db:
+            loaded = reloaded.get(original.ndb_no)
+            assert loaded.description == original.description
+            assert loaded.food_group == original.food_group
+            assert loaded.nutrients == pytest.approx(original.nutrients)
+            assert len(loaded.portions) == len(original.portions)
+        # index order preserved (heuristic (i) depends on it)
+        assert reloaded.descriptions() == db.descriptions()
+
+    def test_missing_table_raises(self, tmp_path):
+        (tmp_path / "FOOD_DES.txt").write_text("~1~^~G~^~D~\n")
+        with pytest.raises(FileNotFoundError):
+            load_sr_directory(tmp_path)
+
+    def test_short_line_raises(self, tmp_path):
+        (tmp_path / "FOOD_DES.txt").write_text("~1~\n")
+        (tmp_path / "NUT_DATA.txt").write_text("")
+        (tmp_path / "WEIGHT.txt").write_text("")
+        with pytest.raises(SRFormatError):
+            load_sr_directory(tmp_path)
+
+    def test_bad_number_raises(self, tmp_path):
+        (tmp_path / "FOOD_DES.txt").write_text("~1~^~G~^~D~\n")
+        (tmp_path / "NUT_DATA.txt").write_text("~1~^~208~^~oops~\n")
+        (tmp_path / "WEIGHT.txt").write_text("")
+        with pytest.raises(SRFormatError):
+            load_sr_directory(tmp_path)
+
+    def test_untracked_nutrient_ignored(self, tmp_path):
+        (tmp_path / "FOOD_DES.txt").write_text("~1~^~G~^~D~\n")
+        (tmp_path / "NUT_DATA.txt").write_text("~1~^~999~^5\n~1~^~208~^70\n")
+        (tmp_path / "WEIGHT.txt").write_text("~1~^1^1.0^~cup~^100\n")
+        db = load_sr_directory(tmp_path)
+        assert db.get("1").nutrients == {"energy_kcal": 70.0}
+
+    def test_extra_columns_tolerated(self, tmp_path):
+        # Genuine SR FOOD_DES lines carry ~14 columns.
+        (tmp_path / "FOOD_DES.txt").write_text(
+            "~1~^~G~^~D~^~short~^~sci~^~Y~^1^~ref~^1^2^3^4^5^6\n")
+        (tmp_path / "NUT_DATA.txt").write_text("")
+        (tmp_path / "WEIGHT.txt").write_text("")
+        db = load_sr_directory(tmp_path)
+        assert db.get("1").description == "D"
+
+
+class TestJSON:
+    def test_json_round_trip(self, db):
+        text = to_json(db)
+        reloaded = from_json(text)
+        assert len(reloaded) == len(db)
+        butter = reloaded.get("01001")
+        assert butter.description == "Butter, salted"
+        assert butter.portions[0].grams == 5.0

@@ -1,0 +1,99 @@
+"""Tests for repro.usda schema and database."""
+
+import pytest
+
+from repro.usda.database import DuplicateFoodError, NutrientDatabase
+from repro.usda.schema import FoodItem, Portion
+
+
+def _food(ndb="99999", desc="Test food, raw", group="Test"):
+    return FoodItem(
+        ndb_no=ndb,
+        description=desc,
+        food_group=group,
+        nutrients={"energy_kcal": 100.0, "protein_g": 5.0},
+        portions=(Portion(1, 1.0, "cup", 120.0), Portion(2, 2.0, "tbsp", 16.0)),
+    )
+
+
+class TestPortion:
+    def test_grams_per_amount(self):
+        assert Portion(1, 2.0, "tbsp", 30.0).grams_per_amount == 15.0
+
+    def test_zero_amount_raises(self):
+        with pytest.raises(ValueError):
+            Portion(1, 0.0, "cup", 10.0).grams_per_amount
+
+
+class TestFoodItem:
+    def test_terms_split(self):
+        food = _food(desc="Butter, whipped, with salt")
+        assert food.terms == ["Butter", "whipped", "with salt"]
+
+    def test_unknown_nutrient_rejected(self):
+        with pytest.raises(ValueError):
+            FoodItem("1", "X", "G", nutrients={"bogus": 1.0})
+
+    def test_energy_default_zero(self):
+        food = FoodItem("1", "X", "G")
+        assert food.energy_kcal == 0.0
+
+    def test_nutrient_per_gram(self):
+        assert _food().nutrient_per_gram("energy_kcal") == 1.0
+        assert _food().nutrient_per_gram("fat_g") == 0.0
+
+    def test_portion_units(self):
+        assert _food().portion_units() == ["cup", "tbsp"]
+
+
+class TestNutrientDatabase:
+    def test_insertion_order_preserved(self):
+        a, b = _food("00001", "A"), _food("00002", "B")
+        db = NutrientDatabase([a, b])
+        assert list(db) == [a, b]
+        assert db.index_of("00001") == 0
+        assert db.index_of("00002") == 1
+
+    def test_duplicate_rejected(self):
+        db = NutrientDatabase([_food("00001")])
+        with pytest.raises(DuplicateFoodError):
+            db.add(_food("00001"))
+
+    def test_lookup(self):
+        db = NutrientDatabase([_food("00007", "Special, raw")])
+        assert db.get("00007").description == "Special, raw"
+        assert "00007" in db
+        assert "99998" not in db
+        assert db.by_description("Special, raw").ndb_no == "00007"
+        with pytest.raises(KeyError):
+            db.by_description("nope")
+
+    def test_find_substring(self):
+        db = NutrientDatabase([_food("00001", "Butter, salted"),
+                               _food("00002", "Cheese, blue")])
+        assert [f.ndb_no for f in db.find("butter")] == ["00001"]
+
+    def test_vocabulary_lowercase_alpha(self):
+        db = NutrientDatabase([_food(desc='Pat (1" sq), raw')])
+        vocab = db.vocabulary()
+        assert "pat" in vocab and "raw" in vocab
+        for word in vocab:
+            assert word.isalpha() and word == word.lower()
+
+
+class TestDefaultDatabase:
+    def test_loads_and_caches(self, db):
+        from repro.usda.database import load_default_database
+
+        assert load_default_database() is db
+        assert len(db) > 300
+
+    def test_21_food_groups(self, db):
+        assert len(db.food_groups()) == 21
+
+    def test_sr_index_order_constraints(self, db):
+        # Heuristic (i) depends on these orderings.
+        assert db.index_of("09003") < db.index_of("09004")  # apples w/ < w/o skin
+        assert db.index_of("01123") < db.index_of("01124")  # whole < white
+        assert db.index_of("01123") < db.index_of("01125")  # whole < yolk
+        assert db.index_of("16087") < db.index_of("16098")  # peanuts < p.butter
