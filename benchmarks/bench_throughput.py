@@ -1,0 +1,227 @@
+"""Matcher/estimation throughput — the inverted-index perf tentpole.
+
+Measures, on synthetic recipe corpora of 100 / 1,000 / 10,000
+ingredient lines (100 only in smoke mode):
+
+* matcher construction time (description preprocessing + index build),
+* uncached single-line match throughput through the inverted index,
+* the same lines through a faithful reimplementation of the seed
+  O(|DB|) linear scan — the speedup denominator,
+* end-to-end batch estimation throughput (``estimate_recipes``,
+  two passes, shared parse/match caches).
+
+Emits ``results/BENCH_throughput.json`` so the perf trajectory is
+tracked from PR 1 onward.
+
+Run::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_throughput.py -q
+    PYTHONPATH=src python benchmarks/bench_throughput.py   # standalone
+    REPRO_BENCH_SMOKE=1 ...                                # CI smoke
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import time
+
+from conftest import write_result
+
+from repro import NutritionEstimator, RecipeGenerator, load_default_database
+from repro.matching.jaccard import modified_jaccard, vanilla_jaccard
+from repro.matching.matcher import DescriptionMatcher, MatcherConfig
+from repro.matching.preprocess import preprocess_description, preprocess_words
+from repro.matching.types import MatchResult
+from repro.recipedb.generator import GeneratorConfig
+from repro.text.lemmatizer import WordNetStyleLemmatizer
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") == "1"
+SCALES: tuple[int, ...] = (100,) if SMOKE else (100, 1000, 10000)
+#: Acceptance floor for indexed vs. linear uncached matching.
+MIN_SPEEDUP = 2.0 if SMOKE else 5.0
+
+
+class SeedLinearMatcher:
+    """The seed matcher's per-query O(|DB|) scan, cost-faithfully.
+
+    No lemma memoization, a fresh set intersection per description —
+    exactly the work profile the inverted index replaced (seed
+    baseline: ~0.18 ms/line on the embedded 338-food database).
+    """
+
+    def __init__(self, db, config: MatcherConfig | None = None):
+        self.config = config or MatcherConfig()
+        self.lemmatizer = WordNetStyleLemmatizer(db.vocabulary())
+        self.foods = list(db)
+        self.descriptions = [
+            preprocess_description(f.description, self.lemmatizer)
+            for f in db
+        ]
+
+    def match(self, name, state="", temperature="", dry_fresh=""):
+        parts = " ".join(
+            p for p in (name, state, temperature, dry_fresh) if p
+        )
+        query = frozenset(preprocess_words(parts, self.lemmatizer))
+        if not query:
+            return None
+        raw_pref = self.config.raw_bonus and not state.strip()
+        name_words = frozenset(preprocess_words(name, self.lemmatizer))
+        best: MatchResult | None = None
+        for index, (food, desc) in enumerate(
+            zip(self.foods, self.descriptions)
+        ):
+            matched = query & desc.words
+            if not matched:
+                continue
+            if name_words and not (matched & name_words):
+                continue
+            if self.config.use_modified_jaccard:
+                score = modified_jaccard(query, desc.words)
+            else:
+                score = vanilla_jaccard(query, desc.words)
+            if score < self.config.min_score:
+                continue
+            candidate = MatchResult(
+                food=food,
+                score=score,
+                priority=sum(desc.term_priority[w] for w in matched)
+                / len(matched),
+                db_index=index,
+                query_words=query,
+                matched_words=frozenset(matched),
+                raw_added=raw_pref and desc.has_raw,
+            )
+            if best is None or self._better(candidate, best):
+                best = candidate
+        return best
+
+    def _better(self, a, b):
+        if a.score != b.score:
+            return a.score > b.score
+        if self.config.priority_tiebreak and a.priority != b.priority:
+            return a.priority < b.priority
+        if a.raw_added != b.raw_added:
+            return a.raw_added
+        return a.db_index < b.db_index
+
+
+def _corpus_lines(n_lines: int):
+    """(recipes, parsed query tuples) totalling exactly *n_lines*."""
+    generator = RecipeGenerator(config=GeneratorConfig(seed=7))
+    recipes = []
+    lines: list[str] = []
+    while len(lines) < n_lines:
+        for recipe in generator.generate(max(8, n_lines // 6)):
+            recipes.append(recipe)
+            lines.extend(recipe.ingredient_texts)
+            if len(lines) >= n_lines:
+                break
+    lines = lines[:n_lines]
+    parser = NutritionEstimator()
+    queries = []
+    for text in lines:
+        parsed = parser.parse(text)
+        queries.append(
+            (parsed.name, parsed.state, parsed.temperature, parsed.dry_fresh)
+        )
+    return recipes, queries
+
+
+def _best_of(repeats: int, fn) -> float:
+    """Fastest wall time of *repeats* runs of fn() (seconds)."""
+    return min(_timed(fn) for _ in range(repeats))
+
+
+def _timed(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def run_benchmark() -> dict:
+    db = load_default_database()
+
+    build_times = [
+        _timed(lambda: DescriptionMatcher(db)) for _ in range(5)
+    ]
+    matcher = DescriptionMatcher(db)
+    linear = SeedLinearMatcher(db)
+
+    # Dict-backed exact-description lookup roundtrip (sanity anchor).
+    anchor = matcher.match("butter")
+    assert db.by_description(anchor.description) is anchor.food
+
+    report: dict = {
+        "benchmark": "bench_throughput",
+        "smoke": SMOKE,
+        "db_foods": len(db),
+        "index_vocabulary": matcher.index.vocabulary_size,
+        "matcher_build_ms_median": round(
+            statistics.median(build_times) * 1000, 3
+        ),
+        "scales": [],
+    }
+
+    for n_lines in SCALES:
+        recipes, queries = _corpus_lines(n_lines)
+        unique = list(dict.fromkeys(queries))
+
+        def indexed_pass():
+            matcher.clear_cache()
+            for q in unique:
+                matcher.match(*q)
+
+        def linear_pass():
+            for q in unique:
+                linear.match(*q)
+
+        indexed_s = _best_of(3, indexed_pass)
+        linear_s = _best_of(3 if n_lines <= 1000 else 1, linear_pass)
+
+        def batch_pass():
+            NutritionEstimator().estimate_recipes(recipes, passes=2)
+
+        batch_s = _timed(batch_pass)
+        n_batch_lines = 2 * sum(len(r.ingredient_texts) for r in recipes)
+
+        indexed_ms = indexed_s / len(unique) * 1000
+        linear_ms = linear_s / len(unique) * 1000
+        report["scales"].append({
+            "lines": n_lines,
+            "unique_queries": len(unique),
+            "indexed_uncached_ms_per_line": round(indexed_ms, 5),
+            "linear_uncached_ms_per_line": round(linear_ms, 5),
+            "speedup": round(linear_ms / indexed_ms, 2),
+            "batch_two_pass_lines_per_sec": round(
+                n_batch_lines / max(batch_s, 1e-9)
+            ),
+        })
+
+    # Parity spot check at the largest scale: the index must agree
+    # with the seed scan on every benchmarked query (the exhaustive
+    # version lives in tests/test_matching_index.py).
+    matcher.clear_cache()
+    for q in list(dict.fromkeys(queries))[:200]:
+        fast, slow = matcher.match(*q), linear.match(*q)
+        assert (fast is None) == (slow is None)
+        if fast is not None:
+            assert fast == slow, q
+    return report
+
+
+def test_throughput():
+    report = run_benchmark()
+    write_result("BENCH_throughput.json", json.dumps(report, indent=2))
+    for scale in report["scales"]:
+        assert scale["speedup"] >= MIN_SPEEDUP, scale
+        assert scale["batch_two_pass_lines_per_sec"] > 0
+
+
+if __name__ == "__main__":
+    result = run_benchmark()
+    path = write_result("BENCH_throughput.json", json.dumps(result, indent=2))
+    print(json.dumps(result, indent=2))
+    print(f"wrote {path}")

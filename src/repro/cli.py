@@ -6,6 +6,7 @@ Subcommands::
     python -m repro parse "1 small onion , finely chopped"
     python -m repro match "red lentils" --state rinsed --explain
     python -m repro generate --recipes 5 --out corpus.jsonl
+    python -m repro batch corpus.jsonl
     python -m repro tables
 """
 
@@ -13,10 +14,11 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 
 from repro.core.estimator import NutritionEstimator
 from repro.matching.explain import explain_match
-from repro.recipedb.corpus import save_recipes_jsonl
+from repro.recipedb.corpus import load_recipes_jsonl, save_recipes_jsonl
 from repro.recipedb.generator import GeneratorConfig, RecipeGenerator
 from repro.eval.tables import (
     render_table_i,
@@ -66,6 +68,33 @@ def _cmd_match(args: argparse.Namespace) -> int:
         return 1
     print(f"{result.description}  (score {result.score:.3f}, "
           f"NDB {result.food.ndb_no})")
+    return 0
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    """Estimate a whole JSONL corpus through the batch pipeline."""
+    if args.passes < 1:
+        print(f"error: --passes must be >= 1, got {args.passes}")
+        return 2
+    recipes = load_recipes_jsonl(args.path)
+    if not recipes:
+        print("empty corpus")
+        return 1
+    estimator = NutritionEstimator()
+    start = time.perf_counter()
+    estimates = estimator.estimate_recipes(recipes, passes=args.passes)
+    elapsed = time.perf_counter() - start
+    for recipe, est in zip(recipes, estimates):
+        print(
+            f"{recipe.title[:40]:42} {est.per_serving.calories:9.1f} "
+            f"kcal/serving  {100 * est.fraction_fully_mapped:5.1f}% mapped"
+        )
+    lines = sum(len(e.ingredients) for e in estimates)
+    rate = lines / elapsed if elapsed > 0 else float("inf")
+    print(
+        f"\n{len(recipes)} recipes / {lines} ingredient lines "
+        f"in {elapsed:.2f}s ({rate:.0f} lines/s, {args.passes} pass(es))"
+    )
     return 0
 
 
@@ -119,6 +148,13 @@ def build_parser() -> argparse.ArgumentParser:
     match.add_argument("--explain", action="store_true")
     match.add_argument("--top", type=int, default=5)
     match.set_defaults(func=_cmd_match)
+
+    batch = sub.add_parser(
+        "batch", help="estimate a JSONL corpus via the batch pipeline")
+    batch.add_argument("path", help="corpus written by `generate --out`")
+    batch.add_argument("--passes", type=int, default=2,
+                       help="estimation passes (pass 1 learns unit stats)")
+    batch.set_defaults(func=_cmd_batch)
 
     generate = sub.add_parser("generate", help="generate a synthetic corpus")
     generate.add_argument("--recipes", type=int, default=10)

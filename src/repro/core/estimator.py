@@ -123,6 +123,11 @@ class NutritionEstimator:
         self._matcher = DescriptionMatcher(self._db, matcher_config)
         self._fallback = fallback or UnitFallback()
         self._resolvers: dict[str, UnitResolver] = {}
+        # text -> ParsedIngredient memo: tokenization + NER tagging is
+        # deterministic per tagger, and real corpora repeat lines
+        # heavily ("1 teaspoon salt"), so batch paths pay the parse
+        # cost once per distinct line.
+        self._parse_cache: dict[str, ParsedIngredient] = {}
 
     @property
     def database(self) -> NutrientDatabase:
@@ -260,9 +265,16 @@ class NutritionEstimator:
     # ------------------------------------------------------------------
     # per-ingredient estimate
 
+    def _parse_cached(self, text: str) -> ParsedIngredient:
+        parsed = self._parse_cache.get(text)
+        if parsed is None:
+            parsed = self.parse(text)
+            self._parse_cache[text] = parsed
+        return parsed
+
     def estimate_ingredient(self, text: str) -> IngredientEstimate:
         """Full pipeline for one phrase."""
-        parsed = self.parse(text)
+        parsed = self._parse_cached(text)
         if not parsed.name:
             return IngredientEstimate(parsed=parsed, status=STATUS_UNMATCHED)
         match = self._matcher.match(
@@ -318,15 +330,17 @@ class NutritionEstimator:
             per_serving=total.per_serving(servings),
         )
 
-    def estimate_corpus(
-        self, recipes: list[Recipe], passes: int = 2
+    def estimate_recipes(
+        self, recipes: list[Recipe], passes: int = 1
     ) -> list[RecipeEstimate]:
-        """Estimate many recipes with corpus-level unit statistics.
+        """Batch estimation over many recipes with shared caches.
 
-        The first pass populates the most-frequent-unit table from
-        successfully resolved lines; the final pass re-estimates so
-        lines that needed the fallback benefit from the full corpus
-        (the paper's garlic -> clove example).
+        Parsing (tokenize + NER) and description matching are memoized
+        on the estimator, so a corpus where the same ingredient line
+        appears in many recipes pays the per-line cost once; subsequent
+        passes are nearly free.  With ``passes >= 2`` earlier passes
+        populate the corpus-level most-frequent-unit table (§II-C) that
+        the final pass's fallback chain consumes.
         """
         if passes < 1:
             raise ValueError(f"passes must be >= 1: {passes}")
@@ -337,3 +351,15 @@ class NutritionEstimator:
                 for r in recipes
             ]
         return results
+
+    def estimate_corpus(
+        self, recipes: list[Recipe], passes: int = 2
+    ) -> list[RecipeEstimate]:
+        """Estimate many recipes with corpus-level unit statistics.
+
+        The first pass populates the most-frequent-unit table from
+        successfully resolved lines; the final pass re-estimates so
+        lines that needed the fallback benefit from the full corpus
+        (the paper's garlic -> clove example).
+        """
+        return self.estimate_recipes(recipes, passes=passes)

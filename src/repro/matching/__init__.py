@@ -5,6 +5,7 @@ TEMP and DRY/FRESH entities) to a USDA-SR food description using the
 paper's modified Jaccard index and heuristics (a)–(i).
 """
 
+from repro.matching.index import DescriptionIndex, linear_candidate_matches
 from repro.matching.jaccard import modified_jaccard, vanilla_jaccard
 from repro.matching.matcher import DescriptionMatcher, MatcherConfig
 from repro.matching.preprocess import preprocess_description, preprocess_words
@@ -13,6 +14,8 @@ from repro.matching.types import MatchResult
 __all__ = [
     "modified_jaccard",
     "vanilla_jaccard",
+    "DescriptionIndex",
+    "linear_candidate_matches",
     "DescriptionMatcher",
     "MatcherConfig",
     "preprocess_description",

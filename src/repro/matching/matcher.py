@@ -18,20 +18,30 @@ set A is built from the ingredient NAME plus STATE/TEMP/DRY-FRESH
 entities, lemmatized and negation-rewritten; when no STATE is given,
 the synthetic word "raw" joins A so uncooked descriptions gain exactly
 one extra matching word.
+
+Candidate generation is sub-linear: a :class:`DescriptionIndex` built
+at construction restricts scoring to descriptions sharing at least one
+NAME word with the query (see ``index.py`` for the exactness
+argument).  Scores, tie-breaks and winners are bit-identical to the
+original full scan.
 """
 
 from __future__ import annotations
 
+from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass
 
-from repro.matching.jaccard import modified_jaccard, vanilla_jaccard
+from repro.matching.index import DescriptionIndex
 from repro.matching.preprocess import (
     PreprocessedDescription,
+    canonical_word,
     preprocess_description,
-    preprocess_words,
 )
 from repro.matching.types import MatchResult
 from repro.text.lemmatizer import WordNetStyleLemmatizer
+from repro.text.negation import rewrite_negations
+from repro.text.stopwords import STOP_WORDS
+from repro.text.tokenize import word_tokens
 from repro.usda.database import NutrientDatabase
 
 
@@ -64,11 +74,22 @@ class DescriptionMatcher:
         # vocabulary (paper (b): WordNet lemmatization; our lexicon is
         # the matching vocabulary itself).
         self._lemmatizer = WordNetStyleLemmatizer(database.vocabulary())
+        # word -> lemma memo, shared by description preprocessing and
+        # every query: each distinct token is lemmatized exactly once
+        # per matcher lifetime.
+        self._canon_cache: dict[str, str] = {}
+        # text -> word tokens memo: ingredient names recur across
+        # states ("butter" softened/melted/...), so each distinct
+        # entity string is tokenized once per matcher lifetime.
+        self._token_cache: dict[str, tuple[str, ...]] = {}
         self._descriptions: list[PreprocessedDescription] = [
-            preprocess_description(food.description, self._lemmatizer)
+            preprocess_description(
+                food.description, self._lemmatizer, cache=self._canon_cache
+            )
             for food in database
         ]
         self._foods = list(database)
+        self._index = DescriptionIndex(self._descriptions)
         self._cache: dict[tuple[str, str, str, str], MatchResult | None] = {}
 
     @property
@@ -78,6 +99,20 @@ class DescriptionMatcher:
     @property
     def config(self) -> MatcherConfig:
         return self._config
+
+    @property
+    def index(self) -> DescriptionIndex:
+        """The inverted index backing candidate generation."""
+        return self._index
+
+    @property
+    def descriptions(self) -> Sequence[PreprocessedDescription]:
+        """Preprocessed descriptions, in SR index order (read-only)."""
+        return tuple(self._descriptions)
+
+    def clear_cache(self) -> None:
+        """Drop memoized match results (benchmarking/profiling hook)."""
+        self._cache.clear()
 
     def build_query(
         self,
@@ -100,25 +135,60 @@ class DescriptionMatcher:
         must not drift to "Egg, white, raw, fresh" on the strength of
         the synthetic "raw").
         """
-        parts = " ".join(p for p in (name, state, temperature, dry_fresh) if p)
-        words = frozenset(self._preprocess(parts))
-        raw_preference = self._config.raw_bonus and not state.strip()
+        words, _, raw_preference = self._query_parts(
+            name, state, temperature, dry_fresh
+        )
         return words, raw_preference
 
-    def _preprocess(self, text: str) -> list[str]:
-        if not self._config.rewrite_negations:
-            # Ablation: skip negation rewriting but keep the rest of
-            # the pipeline (tokenize, stop words, lemmatize).
-            from repro.text.stopwords import STOP_WORDS
-            from repro.text.tokenize import word_tokens
-            from repro.matching.preprocess import canonical_word
+    def _query_parts(
+        self, name: str, state: str, temperature: str, dry_fresh: str
+    ) -> tuple[frozenset[str], frozenset[str], bool]:
+        """(query words A, NAME-only words, raw preference) in one pass.
 
-            return [
-                canonical_word(w, self._lemmatizer)
-                for w in word_tokens(text)
-                if w not in STOP_WORDS
-            ]
-        return preprocess_words(text, self._lemmatizer)
+        The NAME tokens are preprocessed once and reused as the full
+        query when no STATE/TEMP/DRY-FRESH entities are present (the
+        common case); with entities present, the memoized per-entity
+        tokens are concatenated and only the cheap tail of the
+        pipeline (negation rewrite, stop words, memoized lemmas) runs
+        over the combined sequence — token concatenation equals
+        tokenizing the joined phrase because alphabetic tokens never
+        span whitespace.
+        """
+        name_tokens = self._tokens(name)
+        name_words = frozenset(self._finish(name_tokens))
+        if state or temperature or dry_fresh:
+            combined = list(name_tokens)
+            for part in (state, temperature, dry_fresh):
+                if part:
+                    combined.extend(self._tokens(part))
+            words = frozenset(self._finish(combined))
+        else:
+            words = name_words
+        raw_preference = self._config.raw_bonus and not state.strip()
+        return words, name_words, raw_preference
+
+    def _tokens(self, text: str) -> tuple[str, ...]:
+        tokens = self._token_cache.get(text)
+        if tokens is None:
+            tokens = tuple(word_tokens(text))
+            self._token_cache[text] = tokens
+        return tokens
+
+    def _finish(self, tokens: Sequence[str]) -> list[str]:
+        """Pipeline tail after tokenization: negations, stops, lemmas.
+
+        With ``rewrite_negations`` off (ablation) the rewrite step is
+        skipped but stop words and lemmatization still apply.
+        """
+        if self._config.rewrite_negations:
+            tokens = rewrite_negations(list(tokens))
+        lemmatizer = self._lemmatizer
+        cache = self._canon_cache
+        return [
+            canonical_word(word, lemmatizer, cache)
+            for word in tokens
+            if word not in STOP_WORDS
+        ]
 
     def match(
         self,
@@ -138,53 +208,173 @@ class DescriptionMatcher:
         self._cache[key] = result
         return result
 
+    def match_many(
+        self,
+        queries: Iterable[str | Sequence[str]],
+    ) -> list[MatchResult | None]:
+        """Batch variant of :meth:`match` over many ingredient lines.
+
+        Each query is a name string or a ``(name[, state[, temperature
+        [, dry_fresh]]])`` sequence.  All queries share the
+        per-instance result cache, so a corpus where the same
+        ingredient+state pair recurs pays the scoring cost once.
+        """
+        results: list[MatchResult | None] = []
+        for query in queries:
+            if isinstance(query, str):
+                query = (query,)
+            name, state, temperature, dry_fresh = (
+                tuple(query) + ("", "", "")
+            )[:4]
+            results.append(self.match(name, state, temperature, dry_fresh))
+        return results
+
     def _match_uncached(
         self, name: str, state: str, temperature: str, dry_fresh: str
     ) -> MatchResult | None:
-        query, raw_pref = self.build_query(name, state, temperature, dry_fresh)
+        query, name_words, raw_pref = self._query_parts(
+            name, state, temperature, dry_fresh
+        )
         if not query:
             return None
-        # A candidate must share at least one word with the NAME itself:
-        # state/temperature words alone ("diced" matching "Babyfood,
-        # apples, dices, toddler" for "bacon, diced") never constitute
-        # a match.
-        name_words = frozenset(self._preprocess(name))
-        best: MatchResult | None = None
-        for index, (food, desc) in enumerate(zip(self._foods, self._descriptions)):
+        return self._best_match(query, name_words, raw_pref)
+
+    def _best_match(
+        self,
+        query: frozenset[str],
+        name_words: frozenset[str],
+        raw_pref: bool,
+    ) -> MatchResult | None:
+        """Single-winner fast path: overlap counts first, then full
+        scoring (priority, raw flag) only for the score-tied leaders.
+
+        Selects exactly the candidate :meth:`_selection_key` ranks
+        first — the score comparison is monotone in the overlap count
+        for modified Jaccard and uses the identical float division for
+        vanilla, and the leaders' tie-break keys replicate the
+        remaining ordering.
+        """
+        index = self._index
+        counts = index.candidate_counts(
+            query, required=name_words or None
+        )
+        if not counts:
+            return None
+        config = self._config
+        n_query = len(query)
+        if config.use_modified_jaccard:
+            best_overlap = max(counts.values())
+            best_score = best_overlap / n_query
+            if best_score < config.min_score:
+                return None
+            tied = [i for i, c in counts.items() if c == best_overlap]
+        else:
+            word_count = index.word_count
+            best_score = -1.0
+            tied = []
+            for i, count in counts.items():
+                score = count / (n_query + word_count(i) - count)
+                if score > best_score:
+                    best_score = score
+                    tied = [i]
+                elif score == best_score:
+                    tied.append(i)
+            if best_score < config.min_score:
+                return None
+        descriptions = self._descriptions
+        if len(tied) == 1:
+            win = tied[0]
+            desc = descriptions[win]
             matched = query & desc.words
-            if not matched:
-                continue
-            if name_words and not (matched & name_words):
-                continue
-            if self._config.use_modified_jaccard:
-                score = modified_jaccard(query, desc.words)
-            else:
-                score = vanilla_jaccard(query, desc.words)
-            if score < self._config.min_score:
-                continue
-            candidate = MatchResult(
-                food=food,
-                score=score,
-                priority=self._mean_priority(matched, desc),
-                db_index=index,
-                query_words=query,
-                matched_words=frozenset(matched),
-                raw_added=raw_pref and desc.has_raw,
+            priority = (
+                sum(desc.term_priority[w] for w in matched) / len(matched)
             )
-            if best is None or self._better(candidate, best):
-                best = candidate
-        return best
+            win_raw = raw_pref and desc.has_raw
+        else:
+            priority_on = config.priority_tiebreak
+            best_key: tuple | None = None
+            win, matched, priority, win_raw = -1, frozenset(), 0.0, False
+            for i in tied:
+                desc = descriptions[i]
+                overlap = query & desc.words
+                mean_priority = (
+                    sum(desc.term_priority[w] for w in overlap)
+                    / len(overlap)
+                )
+                raw = raw_pref and desc.has_raw
+                key = (
+                    (mean_priority, not raw, i)
+                    if priority_on
+                    else (not raw, i)
+                )
+                if best_key is None or key < best_key:
+                    best_key = key
+                    win, matched, priority, win_raw = (
+                        i, overlap, mean_priority, raw,
+                    )
+        return MatchResult(
+            food=self._foods[win],
+            score=best_score,
+            priority=priority,
+            db_index=win,
+            query_words=query,
+            matched_words=frozenset(matched),
+            raw_added=win_raw,
+        )
 
-    def _mean_priority(
-        self, matched: set[str], desc: PreprocessedDescription
-    ) -> float:
-        """Mean comma-term index of matched words (lower is better)."""
-        if not matched:
-            return float("inf")
-        return sum(desc.term_priority[w] for w in matched) / len(matched)
+    def _candidates(
+        self,
+        query: frozenset[str],
+        name_words: frozenset[str],
+        raw_pref: bool,
+    ) -> list[MatchResult]:
+        """Score every index candidate — shared by match/top_matches.
 
-    def _better(self, a: MatchResult, b: MatchResult) -> bool:
-        """True if *a* beats *b*: score, raw preference, priority, index.
+        A candidate must share at least one word with the NAME itself:
+        state/temperature words alone ("diced" matching "Babyfood,
+        apples, dices, toddler" for "bacon, diced") never constitute a
+        match — hence ``required=name_words`` seeding the posting walk.
+        """
+        config = self._config
+        use_modified = config.use_modified_jaccard
+        min_score = config.min_score
+        n_query = len(query)
+        index = self._index
+        results: list[MatchResult] = []
+        for db_index, overlap in index.candidate_matches(
+            query, required=name_words or None
+        ).items():
+            n_overlap = len(overlap)
+            if use_modified:
+                # modified_jaccard(query, B) with |A∩B| = n_overlap
+                score = n_overlap / n_query
+            else:
+                # vanilla_jaccard via |A∪B| = |A| + |B| - |A∩B|
+                score = n_overlap / (
+                    n_query + index.word_count(db_index) - n_overlap
+                )
+            if score < min_score:
+                continue
+            desc = self._descriptions[db_index]
+            term_priority = desc.term_priority
+            priority = (
+                sum(term_priority[w] for w in overlap) / n_overlap
+            )
+            results.append(
+                MatchResult(
+                    food=self._foods[db_index],
+                    score=score,
+                    priority=priority,
+                    db_index=db_index,
+                    query_words=query,
+                    matched_words=frozenset(overlap),
+                    raw_added=raw_pref and desc.has_raw,
+                )
+            )
+        return results
+
+    def _selection_key(self) -> Callable[[MatchResult], tuple]:
+        """Sort key for selection order: score, priority, raw, index.
 
         The heuristic-(g) raw preference sits between priority and
         index: at equal word overlap *and* equal term priority, an
@@ -194,15 +384,14 @@ class DescriptionMatcher:
         raw, fresh" over the hard-boiled entry).  Term priority stays
         ahead of it so "white sugar" resolves to term-1 "Sugars,
         granulated" rather than raw-but-term-2 "Egg, white, raw,
-        fresh" (heuristic (h) before (g)).
+        fresh" (heuristic (h) before (g)).  The key is a strict total
+        order (db_index breaks all remaining ties), so iteration order
+        never affects the winner; :meth:`_best_match`'s tie-break loop
+        replicates the same ordering.
         """
-        if a.score != b.score:
-            return a.score > b.score
-        if self._config.priority_tiebreak and a.priority != b.priority:
-            return a.priority < b.priority
-        if a.raw_added != b.raw_added:
-            return a.raw_added
-        return a.db_index < b.db_index
+        if self._config.priority_tiebreak:
+            return lambda r: (-r.score, r.priority, not r.raw_added, r.db_index)
+        return lambda r: (-r.score, not r.raw_added, r.db_index)
 
     def top_matches(
         self,
@@ -220,38 +409,11 @@ class DescriptionMatcher:
         """
         if k <= 0:
             raise ValueError(f"k must be positive, got {k}")
-        query, raw_pref = self.build_query(name, state, temperature, dry_fresh)
+        query, name_words, raw_pref = self._query_parts(
+            name, state, temperature, dry_fresh
+        )
         if not query:
             return []
-        name_words = frozenset(self._preprocess(name))
-        candidates: list[MatchResult] = []
-        for index, (food, desc) in enumerate(zip(self._foods, self._descriptions)):
-            matched = query & desc.words
-            if not matched:
-                continue
-            if name_words and not (matched & name_words):
-                continue
-            if self._config.use_modified_jaccard:
-                score = modified_jaccard(query, desc.words)
-            else:
-                score = vanilla_jaccard(query, desc.words)
-            if score < self._config.min_score:
-                continue
-            candidates.append(
-                MatchResult(
-                    food=food,
-                    score=score,
-                    priority=self._mean_priority(matched, desc),
-                    db_index=index,
-                    query_words=query,
-                    matched_words=frozenset(matched),
-                    raw_added=raw_pref and desc.has_raw,
-                )
-            )
-        sort_key = (
-            (lambda r: (-r.score, r.priority, not r.raw_added, r.db_index))
-            if self._config.priority_tiebreak
-            else (lambda r: (-r.score, not r.raw_added, r.db_index))
-        )
-        candidates.sort(key=sort_key)
+        candidates = self._candidates(query, name_words, raw_pref)
+        candidates.sort(key=self._selection_key())
         return candidates[:k]

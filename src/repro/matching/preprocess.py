@@ -29,24 +29,40 @@ _PARTICIPLE_SUFFIXES = ("ed", "ing")
 
 
 def canonical_word(
-    word: str, lemmatizer: WordNetStyleLemmatizer | None = None
+    word: str,
+    lemmatizer: WordNetStyleLemmatizer | None = None,
+    cache: dict[str, str] | None = None,
 ) -> str:
     """Lemmatize one word the way the matcher expects.
 
     Noun lemma first; if that leaves a participle untouched, use the
     verb lemma so both "salted"/"salt" sides normalize identically.
+
+    *cache* memoizes word -> lemma; the caller owns it and must scope
+    it to one lemmatizer (the matcher keeps one per instance so each
+    distinct token is lemmatized once per matcher lifetime).
     """
+    if cache is not None:
+        hit = cache.get(word)
+        if hit is not None:
+            return hit
     lem = lemmatizer or default_lemmatizer()
     noun = lem.lemmatize(word, "n")
     if noun != word.lower():
-        return noun
-    if word.lower().endswith(_PARTICIPLE_SUFFIXES):
-        return lem.lemmatize(word, "v")
-    return noun
+        result = noun
+    elif word.lower().endswith(_PARTICIPLE_SUFFIXES):
+        result = lem.lemmatize(word, "v")
+    else:
+        result = noun
+    if cache is not None:
+        cache[word] = result
+    return result
 
 
 def preprocess_words(
-    text: str, lemmatizer: WordNetStyleLemmatizer | None = None
+    text: str,
+    lemmatizer: WordNetStyleLemmatizer | None = None,
+    cache: dict[str, str] | None = None,
 ) -> list[str]:
     """Full preprocessing returning an ordered token list (may repeat).
 
@@ -61,7 +77,7 @@ def preprocess_words(
     for word in words:
         if word in STOP_WORDS:
             continue
-        out.append(canonical_word(word, lemmatizer))
+        out.append(canonical_word(word, lemmatizer, cache))
     return out
 
 
@@ -94,14 +110,16 @@ class PreprocessedDescription:
 
 
 def preprocess_description(
-    description: str, lemmatizer: WordNetStyleLemmatizer | None = None
+    description: str,
+    lemmatizer: WordNetStyleLemmatizer | None = None,
+    cache: dict[str, str] | None = None,
 ) -> PreprocessedDescription:
     """Preprocess a comma-separated USDA food description."""
     terms = [t.strip() for t in description.split(",") if t.strip()]
     words: set[str] = set()
     priority: dict[str, int] = {}
     for index, term in enumerate(terms, start=1):
-        for word in preprocess_words(term, lemmatizer):
+        for word in preprocess_words(term, lemmatizer, cache):
             words.add(word)
             priority.setdefault(word, index)
     return PreprocessedDescription(

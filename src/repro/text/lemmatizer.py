@@ -224,14 +224,17 @@ class WordNetStyleLemmatizer:
 
     def _lemmatize_noun(self, word: str) -> str:
         lower = word.lower()
-        if len(lower) <= 2 or lower in UNINFLECTED or lower in self._vocab and not lower.endswith("s"):
-            # Short tokens ("as", "is") and guarded lemmas pass through.
-            if lower in NOUN_EXCEPTIONS:
-                return NOUN_EXCEPTIONS[lower]
-            if lower in UNINFLECTED or len(lower) <= 2:
-                return lower
+        # Irregular plurals always win ("leaves" -> "leaf"), even over
+        # the pass-through guards below.
         if lower in NOUN_EXCEPTIONS:
             return NOUN_EXCEPTIONS[lower]
+        # Short tokens ("as", "is") and guarded lemmas pass through.
+        if len(lower) <= 2 or lower in UNINFLECTED:
+            return lower
+        # Words not ending in "s" are already noun lemmas for matching
+        # purposes (this also covers vocabulary entries like "butter";
+        # vocabulary words that *do* end in "s" — description plurals
+        # like "apples" — still run the detachment rules).
         if not lower.endswith("s"):
             return lower
         if lower.endswith("ss") or lower.endswith("us") or lower.endswith("is"):

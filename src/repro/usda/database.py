@@ -26,6 +26,8 @@ class NutrientDatabase:
         self._foods: list[FoodItem] = []
         self._by_ndb: dict[str, FoodItem] = {}
         self._index_of: dict[str, int] = {}
+        self._by_description: dict[str, FoodItem] = {}
+        self._vocabulary: frozenset[str] | None = None
         for food in foods:
             self.add(food)
 
@@ -36,6 +38,10 @@ class NutrientDatabase:
         self._index_of[food.ndb_no] = len(self._foods)
         self._foods.append(food)
         self._by_ndb[food.ndb_no] = food
+        # First insertion wins on duplicate descriptions, matching the
+        # SR-index-order semantics of the previous linear scan.
+        self._by_description.setdefault(food.description, food)
+        self._vocabulary = None
 
     def __len__(self) -> int:
         return len(self._foods)
@@ -56,10 +62,12 @@ class NutrientDatabase:
 
     def by_description(self, description: str) -> FoodItem:
         """Exact-description lookup (KeyError if absent)."""
-        for food in self._foods:
-            if food.description == description:
-                return food
-        raise KeyError(f"no food with description {description!r}")
+        try:
+            return self._by_description[description]
+        except KeyError:
+            raise KeyError(
+                f"no food with description {description!r}"
+            ) from None
 
     def find(self, substring: str) -> list[FoodItem]:
         """All foods whose description contains *substring* (case-insensitive)."""
@@ -81,8 +89,12 @@ class NutrientDatabase:
         """Every lower-cased alphabetic word in descriptions and units.
 
         Fed to the lemmatizer so detachment rules can validate
-        candidate lemmas against the actual matching vocabulary.
+        candidate lemmas against the actual matching vocabulary.  The
+        result is cached and invalidated by :meth:`add`, so repeated
+        matcher constructions over one database pay the scan once.
         """
+        if self._vocabulary is not None:
+            return self._vocabulary
         words: set[str] = set()
         for food in self._foods:
             for raw in food.description.replace(",", " ").replace("(", " ").replace(")", " ").replace("/", " ").split():
@@ -94,7 +106,8 @@ class NutrientDatabase:
                     word = raw.strip("'\"-%").lower()
                     if word.isalpha():
                         words.add(word)
-        return frozenset(words)
+        self._vocabulary = frozenset(words)
+        return self._vocabulary
 
 
 @functools.lru_cache(maxsize=1)

@@ -91,3 +91,35 @@ class TestParser:
     def test_missing_command_exits(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestBatch:
+    def test_batch_estimates_corpus(self, tmp_path, capsys):
+        path = tmp_path / "corpus.jsonl"
+        assert main(["generate", "--recipes", "4", "--out", str(path)]) == 0
+        capsys.readouterr()
+        code = main(["batch", str(path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "kcal/serving" in out
+        assert "4 recipes" in out and "lines/s" in out
+
+    def test_batch_single_pass(self, tmp_path, capsys):
+        path = tmp_path / "corpus.jsonl"
+        main(["generate", "--recipes", "2", "--out", str(path)])
+        capsys.readouterr()
+        assert main(["batch", str(path), "--passes", "1"]) == 0
+        assert "1 pass(es)" in capsys.readouterr().out
+
+    def test_batch_empty_corpus(self, tmp_path, capsys):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert main(["batch", str(path)]) == 1
+        assert "empty corpus" in capsys.readouterr().out
+
+    def test_batch_rejects_bad_passes(self, tmp_path, capsys):
+        path = tmp_path / "corpus.jsonl"
+        main(["generate", "--recipes", "2", "--out", str(path)])
+        capsys.readouterr()
+        assert main(["batch", str(path), "--passes", "0"]) == 2
+        assert "--passes must be >= 1" in capsys.readouterr().out

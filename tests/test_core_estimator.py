@@ -145,3 +145,33 @@ class TestEstimateRecipe:
         assert len(results) == 30
         with pytest.raises(ValueError):
             estimator.estimate_corpus(recipes, passes=0)
+
+
+class TestBatchEstimation:
+    def test_estimate_recipes_matches_per_recipe_path(self, generator):
+        recipes = generator.generate(12)
+        batch = NutritionEstimator().estimate_recipes(recipes)
+        single = NutritionEstimator()
+        expected = [single.estimate_recipe(r.ingredient_texts, r.servings)
+                    for r in recipes]
+        assert [b.per_serving for b in batch] == \
+               [e.per_serving for e in expected]
+        assert [b.total for b in batch] == [e.total for e in expected]
+
+    def test_estimate_corpus_delegates_to_batch(self, generator):
+        recipes = generator.generate(10)
+        a = NutritionEstimator().estimate_corpus(recipes, passes=2)
+        b = NutritionEstimator().estimate_recipes(recipes, passes=2)
+        assert [x.total for x in a] == [y.total for y in b]
+
+    def test_estimate_recipes_validates_passes(self, generator):
+        recipes = generator.generate(2)
+        with pytest.raises(ValueError):
+            NutritionEstimator().estimate_recipes(recipes, passes=0)
+
+    def test_parse_cache_returns_equal_results(self):
+        estimator = NutritionEstimator()
+        first = estimator.estimate_ingredient("2 cups white sugar")
+        second = estimator.estimate_ingredient("2 cups white sugar")
+        assert first.parsed is second.parsed  # memoized parse
+        assert first.profile == second.profile

@@ -102,3 +102,38 @@ class TestAPI:
                    max_size=15))
     def test_lemma_never_longer(self, word):
         assert len(lemmatize(word)) <= len(word) + 1  # ves -> f+e edge
+
+
+class TestNounGuardRegression:
+    """The pass-through guard's intent, made explicit (PR 1).
+
+    The seed guard mixed ``or``/``and`` so a vocabulary word not ending
+    in "s" entered the block and silently fell through; these tests pin
+    the intended semantics for every path through the guard.
+    """
+
+    def test_vocab_word_ending_in_s_still_lemmatizes(self):
+        # Description vocabularies contain plural surface forms
+        # ("apples" occurs verbatim in USDA text); being in the vocab
+        # must not exempt an s-form from the detachment rules.
+        lem = WordNetStyleLemmatizer({"berries", "berry"})
+        assert lem.lemmatize("berries") == "berry"
+
+    def test_vocab_word_ending_in_s_without_known_lemma(self):
+        # Rules still apply; the conservative fallback strips the "s".
+        lem = WordNetStyleLemmatizer({"brussels"})
+        assert lem.lemmatize("brussels") == "brussel"
+
+    def test_vocab_word_not_ending_in_s_passes_through(self):
+        lem = WordNetStyleLemmatizer({"hollandaise"})
+        assert lem.lemmatize("hollandaise") == "hollandaise"
+
+    def test_exceptions_beat_vocabulary_guard(self):
+        # "leaves" may be in the vocabulary verbatim, but the irregular
+        # plural must still win.
+        lem = WordNetStyleLemmatizer({"leaves"})
+        assert lem.lemmatize("leaves") == "leaf"
+
+    def test_uninflected_vocab_word_ending_in_s(self):
+        lem = WordNetStyleLemmatizer({"molasses"})
+        assert lem.lemmatize("molasses") == "molasses"

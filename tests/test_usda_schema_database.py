@@ -97,3 +97,30 @@ class TestDefaultDatabase:
         assert db.index_of("01123") < db.index_of("01124")  # whole < white
         assert db.index_of("01123") < db.index_of("01125")  # whole < yolk
         assert db.index_of("16087") < db.index_of("16098")  # peanuts < p.butter
+
+
+class TestIndexedLookups:
+    """Dict-backed by_description and cached vocabulary (PR 1)."""
+
+    def test_by_description_duplicate_keeps_first(self):
+        # The seed linear scan returned the first (lowest SR index)
+        # food on duplicate descriptions; the dict must agree.
+        db = NutrientDatabase([_food("00001", "Same, raw"),
+                               _food("00002", "Same, raw")])
+        assert db.by_description("Same, raw").ndb_no == "00001"
+
+    def test_by_description_sees_late_adds(self):
+        db = NutrientDatabase([_food("00001", "First, raw")])
+        db.add(_food("00002", "Second, raw"))
+        assert db.by_description("Second, raw").ndb_no == "00002"
+        with pytest.raises(KeyError):
+            db.by_description("Third, raw")
+
+    def test_vocabulary_cached_and_invalidated(self):
+        db = NutrientDatabase([_food("00001", "Butter, salted")])
+        first = db.vocabulary()
+        assert first is db.vocabulary()  # cached object reused
+        db.add(_food("00002", "Quinoa, uncooked"))
+        second = db.vocabulary()
+        assert second is not first
+        assert "quinoa" in second and "quinoa" not in first
