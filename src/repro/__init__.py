@@ -28,6 +28,7 @@ from repro.core.estimator import (
 )
 from repro.core.profile import NutritionalProfile
 from repro.matching.matcher import DescriptionMatcher, MatcherConfig
+from repro.pipeline import EstimatorSpec, ShardedCorpusEstimator
 from repro.recipedb.generator import GeneratorConfig, RecipeGenerator
 from repro.usda.database import NutrientDatabase, load_default_database
 
@@ -41,6 +42,8 @@ __all__ = [
     "NutritionalProfile",
     "DescriptionMatcher",
     "MatcherConfig",
+    "EstimatorSpec",
+    "ShardedCorpusEstimator",
     "GeneratorConfig",
     "RecipeGenerator",
     "NutrientDatabase",

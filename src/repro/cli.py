@@ -18,7 +18,12 @@ import time
 
 from repro.core.estimator import NutritionEstimator
 from repro.matching.explain import explain_match
-from repro.recipedb.corpus import load_recipes_jsonl, save_recipes_jsonl
+from repro.pipeline import ShardedCorpusEstimator
+from repro.recipedb.corpus import (
+    iter_recipes_jsonl,
+    load_recipes_jsonl,
+    save_recipes_jsonl,
+)
 from repro.recipedb.generator import GeneratorConfig, RecipeGenerator
 from repro.eval.tables import (
     render_table_i,
@@ -76,24 +81,66 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     if args.passes < 1:
         print(f"error: --passes must be >= 1, got {args.passes}")
         return 2
-    recipes = load_recipes_jsonl(args.path)
-    if not recipes:
-        print("empty corpus")
-        return 1
-    estimator = NutritionEstimator()
-    start = time.perf_counter()
-    estimates = estimator.estimate_recipes(recipes, passes=args.passes)
-    elapsed = time.perf_counter() - start
-    for recipe, est in zip(recipes, estimates):
+    if args.workers < 1:
+        print(f"error: --workers must be >= 1, got {args.workers}")
+        return 2
+    use_engine = args.workers > 1 or args.jsonl
+    if use_engine and args.passes != 2:
+        print(
+            "note: the sharded corpus engine always runs the two-phase "
+            f"corpus protocol; --passes {args.passes} is ignored"
+        )
+
+    def show(recipe, est) -> None:
         print(
             f"{recipe.title[:40]:42} {est.per_serving.calories:9.1f} "
             f"kcal/serving  {100 * est.fraction_fully_mapped:5.1f}% mapped"
         )
-    lines = sum(len(e.ingredients) for e in estimates)
+
+    n_recipes = 0
+    lines = 0
+    if use_engine:
+        # Sharded/streaming path: the engine traverses the file itself
+        # (twice, bounded memory); recipes stream alongside for titles
+        # and results print as they arrive.  Estimation is lazy here,
+        # so the timer necessarily spans the consuming loop.
+        engine = ShardedCorpusEstimator(workers=args.workers)
+        start = time.perf_counter()
+        for recipe, est in zip(
+            iter_recipes_jsonl(args.path),
+            engine.iter_corpus_estimates(args.path),
+        ):
+            n_recipes += 1
+            lines += len(est.ingredients)
+            show(recipe, est)
+        elapsed = time.perf_counter() - start
+        mode = f"{args.workers} worker(s), two-phase corpus protocol"
+    else:
+        # In-memory path: the same two-phase corpus protocol as the
+        # engine (identical results at any --workers), timed without
+        # the printing.  --passes 1 keeps the incremental single-pass
+        # behaviour.
+        recipes = load_recipes_jsonl(args.path)
+        estimator = NutritionEstimator()
+        start = time.perf_counter()
+        estimates = estimator.estimate_corpus(recipes, passes=args.passes)
+        elapsed = time.perf_counter() - start
+        for recipe, est in zip(recipes, estimates):
+            n_recipes += 1
+            lines += len(est.ingredients)
+            show(recipe, est)
+        mode = (
+            "1 pass(es)" if args.passes == 1
+            else "in-process, two-phase corpus protocol"
+        )
+
+    if n_recipes == 0:
+        print("empty corpus")
+        return 1
     rate = lines / elapsed if elapsed > 0 else float("inf")
     print(
-        f"\n{len(recipes)} recipes / {lines} ingredient lines "
-        f"in {elapsed:.2f}s ({rate:.0f} lines/s, {args.passes} pass(es))"
+        f"\n{n_recipes} recipes / {lines} ingredient lines "
+        f"in {elapsed:.2f}s ({rate:.0f} lines/s, {mode})"
     )
     return 0
 
@@ -153,7 +200,15 @@ def build_parser() -> argparse.ArgumentParser:
         "batch", help="estimate a JSONL corpus via the batch pipeline")
     batch.add_argument("path", help="corpus written by `generate --out`")
     batch.add_argument("--passes", type=int, default=2,
-                       help="estimation passes (pass 1 learns unit stats)")
+                       help=">=2 runs the two-phase corpus protocol "
+                            "(default); 1 runs the incremental single "
+                            "pass (in-process path only)")
+    batch.add_argument("--workers", type=int, default=1,
+                       help="worker processes for the sharded corpus "
+                            "engine (>1 enables it)")
+    batch.add_argument("--jsonl", action="store_true",
+                       help="stream the corpus (bounded memory) through "
+                            "the corpus engine instead of loading it")
     batch.set_defaults(func=_cmd_batch)
 
     generate = sub.add_parser("generate", help="generate a synthetic corpus")

@@ -19,6 +19,8 @@ Per ingredient phrase:
 
 from __future__ import annotations
 
+from collections import Counter
+from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field
 from typing import Protocol
 
@@ -32,6 +34,7 @@ from repro.units.fallback import UnitFallback, scan_for_unit
 from repro.units.gram_weights import UnitResolution, UnitResolver
 from repro.text.tokenize import tokenize
 from repro.usda.database import NutrientDatabase, load_default_database
+from repro.utils import DEFAULT_CACHE_CAP, BoundedCache
 
 #: Ingredient-level mapping status (drives Figure 2's two series).
 STATUS_FULL = "matched"          # name and unit both resolved
@@ -117,17 +120,21 @@ class NutritionEstimator:
         tagger: Tagger | None = None,
         matcher_config: MatcherConfig | None = None,
         fallback: UnitFallback | None = None,
+        cache_cap: int = DEFAULT_CACHE_CAP,
     ):
         self._db = database or load_default_database()
         self._tagger: Tagger = tagger or RuleBasedTagger()
-        self._matcher = DescriptionMatcher(self._db, matcher_config)
+        self._matcher = DescriptionMatcher(
+            self._db, matcher_config, cache_cap=cache_cap
+        )
         self._fallback = fallback or UnitFallback()
         self._resolvers: dict[str, UnitResolver] = {}
         # text -> ParsedIngredient memo: tokenization + NER tagging is
         # deterministic per tagger, and real corpora repeat lines
         # heavily ("1 teaspoon salt"), so batch paths pay the parse
-        # cost once per distinct line.
-        self._parse_cache: dict[str, ParsedIngredient] = {}
+        # cost once per distinct line.  Size-capped (FIFO) so
+        # long-running processes cannot grow without limit.
+        self._parse_cache: dict[str, ParsedIngredient] = BoundedCache(cache_cap)
 
     @property
     def database(self) -> NutrientDatabase:
@@ -210,22 +217,41 @@ class NutritionEstimator:
         return self._resolvers[ndb_no]
 
     def _resolve_unit(
-        self, parsed: ParsedIngredient, match: MatchResult, quantity: float
+        self,
+        parsed: ParsedIngredient,
+        match: MatchResult,
+        quantity: float,
+        consult_fallback: bool = True,
     ) -> tuple[UnitResolution | None, bool]:
         """Unit resolution with the §II-C fallback chain.
 
-        Returns (resolution, used_corpus_fallback).
+        Returns (resolution, used_corpus_fallback).  With
+        ``consult_fallback=False`` the corpus-level most-frequent-unit
+        table is never consulted — the collect pass of the corpus
+        protocol uses this so each line's outcome depends only on the
+        line itself, never on processing order.
         """
         resolver = self._resolver(match.food.ndb_no)
+
+        # scan_for_unit is needed by up to two steps below; scan the
+        # phrase at most once per call.
+        scanned: str | None = None
+        scan_done = False
+
+        def scan() -> str | None:
+            nonlocal scanned, scan_done
+            if not scan_done:
+                scanned = scan_for_unit(parsed.text)
+                scan_done = True
+            return scanned
 
         unit = parsed.unit or None
         resolution = resolver.resolve(unit) if unit else None
 
         # NER missed the unit: scan the raw phrase for a known one.
         if resolution is None and unit is None:
-            scanned = scan_for_unit(parsed.text)
-            if scanned is not None:
-                resolution = resolver.resolve(scanned)
+            if scan() is not None:
+                resolution = resolver.resolve(scan())
 
         # Size entity doubles as a unit ("1 small onion").
         if resolution is None and parsed.size:
@@ -239,8 +265,7 @@ class NutritionEstimator:
         if resolution is not None and not self._fallback.plausible(
             quantity, resolution.grams_per_unit
         ):
-            scanned = scan_for_unit(parsed.text)
-            rescued = resolver.resolve(scanned) if scanned else None
+            rescued = resolver.resolve(scan()) if scan() else None
             if rescued is not None and self._fallback.plausible(
                 quantity, rescued.grams_per_unit
             ):
@@ -250,6 +275,8 @@ class NutritionEstimator:
 
         if resolution is not None:
             return resolution, False
+        if not consult_fallback:
+            return None, False
 
         # Last resort: the most frequent unit for this ingredient name
         # across the corpus observed so far.
@@ -272,8 +299,17 @@ class NutritionEstimator:
             self._parse_cache[text] = parsed
         return parsed
 
-    def estimate_ingredient(self, text: str) -> IngredientEstimate:
-        """Full pipeline for one phrase."""
+    def _estimate_line(
+        self, text: str, consult_fallback: bool = True
+    ) -> IngredientEstimate:
+        """Estimate one phrase without recording unit observations.
+
+        The pure, order-independent core of the pipeline: given a
+        fixed fallback table, the result depends only on *text*.  The
+        corpus protocol and the sharded engine build on this; the
+        public :meth:`estimate_ingredient` adds the incremental
+        observation side effect.
+        """
         parsed = self._parse_cached(text)
         if not parsed.name:
             return IngredientEstimate(parsed=parsed, status=STATUS_UNMATCHED)
@@ -287,7 +323,9 @@ class NutritionEstimator:
         if quantity is None:
             quantity = 1.0  # "salt to taste" and missing quantities
 
-        resolution, used_fallback = self._resolve_unit(parsed, match, quantity)
+        resolution, used_fallback = self._resolve_unit(
+            parsed, match, quantity, consult_fallback
+        )
         if resolution is None:
             return IngredientEstimate(
                 parsed=parsed,
@@ -296,7 +334,6 @@ class NutritionEstimator:
                 quantity=quantity,
             )
         grams = quantity * resolution.grams_per_unit
-        self._fallback.observe(parsed.name, resolution.unit)
         return IngredientEstimate(
             parsed=parsed,
             status=STATUS_FULL,
@@ -308,8 +345,38 @@ class NutritionEstimator:
             used_fallback_unit=used_fallback,
         )
 
+    def estimate_ingredient(self, text: str) -> IngredientEstimate:
+        """Full pipeline for one phrase."""
+        estimate = self._estimate_line(text)
+        if estimate.status == STATUS_FULL:
+            self._fallback.observe(
+                estimate.parsed.name, estimate.resolution.unit
+            )
+        return estimate
+
     # ------------------------------------------------------------------
     # recipe level
+
+    @staticmethod
+    def finish_recipe(
+        estimates: Sequence[IngredientEstimate], servings: int
+    ) -> RecipeEstimate:
+        """Aggregate per-ingredient estimates into a recipe estimate.
+
+        Shared by :meth:`estimate_recipe` and the sharded corpus
+        engine's coordinator so both sum profiles in the identical
+        order with identical float operations (exact-parity
+        requirement).  Static: aggregation needs no estimator state.
+        """
+        if servings <= 0:
+            raise ValueError(f"servings must be positive: {servings}")
+        total = NutritionalProfile.sum(est.profile for est in estimates)
+        return RecipeEstimate(
+            ingredients=tuple(estimates),
+            servings=servings,
+            total=total,
+            per_serving=total.per_serving(servings),
+        )
 
     def estimate_recipe(
         self, ingredient_texts: list[str], servings: int = 1
@@ -317,17 +384,9 @@ class NutritionEstimator:
         """Estimate a whole recipe from its ingredient phrases."""
         if servings <= 0:
             raise ValueError(f"servings must be positive: {servings}")
-        estimates = tuple(
-            self.estimate_ingredient(text) for text in ingredient_texts
-        )
-        total = NutritionalProfile.zero()
-        for est in estimates:
-            total = total + est.profile
-        return RecipeEstimate(
-            ingredients=estimates,
-            servings=servings,
-            total=total,
-            per_serving=total.per_serving(servings),
+        return self.finish_recipe(
+            [self.estimate_ingredient(text) for text in ingredient_texts],
+            servings,
         )
 
     def estimate_recipes(
@@ -352,14 +411,118 @@ class NutritionEstimator:
             ]
         return results
 
+    # ------------------------------------------------------------------
+    # corpus level: the two-phase protocol (§II-C, sharding-exact)
+
+    def corpus_collect_estimates(
+        self, texts_with_counts: Iterable[tuple[str, int]]
+    ) -> tuple[dict[str, IngredientEstimate], dict[str, dict[str, int]]]:
+        """Corpus pass 1 over distinct ingredient lines (shardable).
+
+        Estimates each distinct text *without* consulting the
+        most-frequent-unit table, and tallies (name, unit) observations
+        weighted by how often the line occurs.  Because the fallback
+        table is never consulted, each line's outcome — and therefore
+        the observation table — is independent of processing order and
+        of how the corpus is sharded across workers.
+
+        Returns ``(text -> estimate, observation snapshot)``.  The
+        snapshot merges across shards via :meth:`UnitFallback.merge`.
+        """
+        observations = UnitFallback(self._fallback.max_grams)
+        estimates: dict[str, IngredientEstimate] = {}
+        for text, count in texts_with_counts:
+            estimate = self._estimate_line(text, consult_fallback=False)
+            estimates[text] = estimate
+            if estimate.status == STATUS_FULL:
+                observations.observe(
+                    estimate.parsed.name, estimate.resolution.unit, count
+                )
+        return estimates, observations.snapshot()
+
+    def corpus_fallback_estimates(
+        self, texts: Iterable[str]
+    ) -> dict[str, IngredientEstimate]:
+        """Corpus pass 2 for the unit-unresolved lines (shardable).
+
+        Re-estimates against the estimator's *current* fallback table
+        — by protocol, the merged pass-1 statistics of the whole
+        corpus.  The table is only read, never written, so results
+        again do not depend on order or sharding.
+        """
+        return {
+            text: self._estimate_line(text, consult_fallback=True)
+            for text in texts
+        }
+
+    def corpus_estimate_table(
+        self, counts: dict[str, int]
+    ) -> dict[str, IngredientEstimate]:
+        """The full two-phase protocol over a distinct-line table.
+
+        Collect, install the merged statistics as the estimator's
+        fallback table, re-estimate the name-only lines, and return
+        ``text -> final estimate``.  The single canonical
+        implementation — :meth:`estimate_corpus` assembles recipes
+        from it, and the sharded engine's in-process (``workers=1``)
+        path calls it directly, so the parity-critical sequence lives
+        in exactly one place.
+        """
+        estimates, observations = self.corpus_collect_estimates(counts.items())
+        self._fallback.clear()
+        self._fallback.merge(observations)
+        pending = [
+            text
+            for text, estimate in estimates.items()
+            if estimate.status == STATUS_NAME_ONLY
+        ]
+        estimates.update(self.corpus_fallback_estimates(pending))
+        return estimates
+
     def estimate_corpus(
         self, recipes: list[Recipe], passes: int = 2
     ) -> list[RecipeEstimate]:
         """Estimate many recipes with corpus-level unit statistics.
 
-        The first pass populates the most-frequent-unit table from
-        successfully resolved lines; the final pass re-estimates so
-        lines that needed the fallback benefit from the full corpus
-        (the paper's garlic -> clove example).
+        With ``passes >= 2`` (the default) this runs the two-phase
+        corpus protocol:
+
+        1. **Collect** — every distinct ingredient line is estimated
+           without the corpus fallback; lines whose unit resolves
+           directly contribute their (name, unit) to the
+           most-frequent-unit table, weighted by occurrence count.
+        2. **Freeze & re-estimate** — the estimator's fallback table is
+           replaced by the collected corpus statistics, and only the
+           lines that matched a description but failed unit resolution
+           are re-estimated against it (the paper's garlic -> clove
+           example).  Resolved lines cannot be affected by the table,
+           so their pass-1 estimates are already final.
+
+        This preserves §II-C's semantics — "the most frequent unit for
+        that particular ingredient was used" is a corpus-level
+        statistic — while making the result exactly independent of
+        recipe order and of sharding, which is what lets
+        ``repro.pipeline`` distribute the passes across worker
+        processes with bit-identical results.  ``passes=1`` keeps the
+        single-pass incremental behaviour of
+        :meth:`estimate_recipes`.
+
+        Note the estimator's fallback table is recomputed from the
+        given corpus (previous incremental observations are cleared)
+        and left in place afterwards.
         """
-        return self.estimate_recipes(recipes, passes=passes)
+        if passes < 1:
+            raise ValueError(f"passes must be >= 1: {passes}")
+        if passes == 1:
+            return self.estimate_recipes(recipes, passes=1)
+        counts = Counter(
+            text for recipe in recipes for text in recipe.ingredient_texts
+        )
+        estimates = self.corpus_estimate_table(counts)
+        return [
+            self.finish_recipe(
+                [estimates[text] for text in recipe.ingredient_texts],
+                recipe.servings,
+            )
+            for recipe in recipes
+        ]

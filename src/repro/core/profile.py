@@ -9,10 +9,13 @@ algebra: add ingredients, scale by grams, divide by servings.
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from dataclasses import dataclass, field
 
 from repro.usda.nutrients import NUTRIENT_KEYS
 from repro.usda.schema import FoodItem
+
+_KNOWN_KEYS = frozenset(NUTRIENT_KEYS)
 
 
 @dataclass(frozen=True, slots=True)
@@ -22,8 +25,10 @@ class NutritionalProfile:
     values: dict[str, float] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
-        unknown = set(self.values) - set(NUTRIENT_KEYS)
-        if unknown:
+        # issuperset takes the no-allocation C path; profiles are
+        # constructed once per ingredient line at corpus scale.
+        if not _KNOWN_KEYS.issuperset(self.values):
+            unknown = set(self.values) - _KNOWN_KEYS
             raise ValueError(f"unknown nutrient keys: {sorted(unknown)}")
 
     @classmethod
@@ -56,6 +61,23 @@ class NutritionalProfile:
         return NutritionalProfile(
             {k: self.values.get(k, 0.0) + other.values.get(k, 0.0) for k in keys}
         )
+
+    @classmethod
+    def sum(cls, profiles: Iterable["NutritionalProfile"]) -> "NutritionalProfile":
+        """Left-to-right sum without per-step intermediate profiles.
+
+        Equal to chained ``+`` bit for bit: each key accumulates its
+        contributions in the same order, and the ``+ 0.0`` a chained
+        add would apply for a key absent from one side is a float
+        no-op for the non-negative amounts profiles hold.  Recipe
+        aggregation constructs one profile instead of one per
+        ingredient line.
+        """
+        values: dict[str, float] = {}
+        for profile in profiles:
+            for key, value in profile.values.items():
+                values[key] = values.get(key, 0.0) + value
+        return cls(values)
 
     def scaled(self, factor: float) -> "NutritionalProfile":
         """Profile multiplied by *factor*.

@@ -43,6 +43,7 @@ from repro.text.negation import rewrite_negations
 from repro.text.stopwords import STOP_WORDS
 from repro.text.tokenize import word_tokens
 from repro.usda.database import NutrientDatabase
+from repro.utils import DEFAULT_CACHE_CAP, BoundedCache
 
 
 @dataclass(frozen=True, slots=True)
@@ -67,6 +68,7 @@ class DescriptionMatcher:
         self,
         database: NutrientDatabase,
         config: MatcherConfig | None = None,
+        cache_cap: int = DEFAULT_CACHE_CAP,
     ):
         self._db = database
         self._config = config or MatcherConfig()
@@ -76,12 +78,14 @@ class DescriptionMatcher:
         self._lemmatizer = WordNetStyleLemmatizer(database.vocabulary())
         # word -> lemma memo, shared by description preprocessing and
         # every query: each distinct token is lemmatized exactly once
-        # per matcher lifetime.
-        self._canon_cache: dict[str, str] = {}
+        # per matcher lifetime.  All three memos are size-capped
+        # (``cache_cap`` entries, FIFO) so an unbounded query stream
+        # cannot grow matcher memory without limit.
+        self._canon_cache: dict[str, str] = BoundedCache(cache_cap)
         # text -> word tokens memo: ingredient names recur across
         # states ("butter" softened/melted/...), so each distinct
         # entity string is tokenized once per matcher lifetime.
-        self._token_cache: dict[str, tuple[str, ...]] = {}
+        self._token_cache: dict[str, tuple[str, ...]] = BoundedCache(cache_cap)
         self._descriptions: list[PreprocessedDescription] = [
             preprocess_description(
                 food.description, self._lemmatizer, cache=self._canon_cache
@@ -90,7 +94,9 @@ class DescriptionMatcher:
         ]
         self._foods = list(database)
         self._index = DescriptionIndex(self._descriptions)
-        self._cache: dict[tuple[str, str, str, str], MatchResult | None] = {}
+        self._cache: dict[tuple[str, str, str, str], MatchResult | None] = (
+            BoundedCache(cache_cap)
+        )
 
     @property
     def database(self) -> NutrientDatabase:

@@ -9,6 +9,7 @@ perceptron index them the same way.
 
 from __future__ import annotations
 
+import functools
 import re
 
 _NUM_RE = re.compile(r"^\d+(\.\d+)?$")
@@ -63,8 +64,13 @@ STATE_WORDS: frozenset[str] = frozenset(
 )
 
 
+@functools.lru_cache(maxsize=65536)
 def word_shape(token: str) -> str:
-    """Collapse a token to its orthographic shape.
+    """Collapse a token to its orthographic shape (memoized).
+
+    Corpus vocabulary is small relative to corpus size, so the
+    per-character scan runs once per distinct token, not once per
+    occurrence per feature-window position.
 
     >>> word_shape("Onion")
     'Xx'
@@ -86,13 +92,24 @@ def word_shape(token: str) -> str:
     return "".join(shape)
 
 
-def token_features(tokens: list[str] | tuple[str, ...], i: int) -> list[str]:
-    """Features for position *i* of the token sequence."""
+def token_features(
+    tokens: list[str] | tuple[str, ...],
+    i: int,
+    shapes: list[str] | None = None,
+) -> list[str]:
+    """Features for position *i* of the token sequence.
+
+    *shapes*, when given, holds the precomputed ``word_shape`` of every
+    token — :func:`extract_features` computes each shape once per
+    phrase instead of once per position window.
+    """
+    if shapes is None:
+        shapes = [word_shape(t) for t in tokens]
     token = tokens[i]
     lower = token.lower()
     feats = [
         f"w={lower}",
-        f"shape={word_shape(token)}",
+        f"shape={shapes[i]}",
         f"suf2={lower[-2:]}",
         f"suf3={lower[-3:]}",
         f"pre2={lower[:2]}",
@@ -127,7 +144,7 @@ def token_features(tokens: list[str] | tuple[str, ...], i: int) -> list[str]:
     else:
         prev = tokens[i - 1].lower()
         feats.append(f"w-1={prev}")
-        feats.append(f"shape-1={word_shape(tokens[i - 1])}")
+        feats.append(f"shape-1={shapes[i - 1]}")
         if prev in UNIT_WORDS:
             feats.append("prev_lex=unit")
         if _NUM_RE.match(tokens[i - 1]) or _FRACTION_RE.match(tokens[i - 1]):
@@ -149,4 +166,5 @@ def token_features(tokens: list[str] | tuple[str, ...], i: int) -> list[str]:
 def extract_features(tokens: list[str] | tuple[str, ...]) -> list[list[str]]:
     """Per-token feature lists for a whole phrase."""
     toks = list(tokens)
-    return [token_features(toks, i) for i in range(len(toks))]
+    shapes = [word_shape(t) for t in toks]
+    return [token_features(toks, i, shapes) for i in range(len(toks))]

@@ -29,6 +29,12 @@ class AveragedPerceptronTagger:
         self._transitions = np.zeros((len(tags), len(tags)))
         self._start = np.zeros(len(tags))
         self._trained = False
+        # Interned decode-time view of the weights, built by train():
+        # feature string -> row id, and a (n_features, K) matrix whose
+        # row f holds the weights of feature f for every tag.  None
+        # while training (the dict is the live, evolving store).
+        self._feature_ids: dict[str, int] | None = None
+        self._weight_matrix: np.ndarray | None = None
 
     @property
     def tags(self) -> tuple[str, ...]:
@@ -46,6 +52,10 @@ class AveragedPerceptronTagger:
             raise ValueError(f"epochs must be positive, got {epochs}")
         rng = random.Random(self._seed)
         K = len(self._tags)
+        # The dict is the live store during training; drop any decode
+        # view from a previous train() so _emissions tracks updates.
+        self._feature_ids = None
+        self._weight_matrix = None
 
         # Accumulators for averaging: total = Σ (value at each step).
         # We use the standard lazy trick: keep last-update timestamps.
@@ -102,9 +112,56 @@ class AveragedPerceptronTagger:
         )
         self._transitions = acc_trans / step
         self._start = acc_start / step
+        self._intern_weights()
         self._trained = True
 
+    def _intern_weights(self) -> None:
+        """Build the interned feature-id / weight-matrix decode view.
+
+        Decoding through the matrix replaces the per-token triple loop
+        over ``dict.get((feature, tag))`` with one fancy-indexed row
+        sum per token (see :meth:`_emissions`).
+        """
+        K = len(self._tags)
+        feature_ids: dict[str, int] = {}
+        for feat, _tag in self._weights:
+            if feat not in feature_ids:
+                feature_ids[feat] = len(feature_ids)
+        matrix = np.zeros((len(feature_ids), K))
+        for (feat, tag), weight in self._weights.items():
+            matrix[feature_ids[feat], tag] = weight
+        self._feature_ids = feature_ids
+        self._weight_matrix = matrix
+
     def _emissions(self, feats: list[list[str]]) -> np.ndarray:
+        """Emission scores, (T, K).
+
+        Vectorized hot path: per token, gather the interned rows of
+        its known features and sum them.  NumPy reduces axis 0 of a
+        (n, K) block sequentially for K >= 2, so the result is
+        bit-identical to the reference dict accumulation (the absent
+        (feature, tag) cells hold +0.0, which is addition-neutral);
+        ``tests/test_pipeline_parallel.py`` locks this in.  Falls back
+        to the dict walk while training (the matrix is stale then).
+        """
+        matrix = self._weight_matrix
+        if matrix is None:
+            return self._emissions_reference(feats)
+        K = len(self._tags)
+        em = np.zeros((len(feats), K))
+        feature_ids = self._feature_ids
+        for i, token_feats in enumerate(feats):
+            ids = [
+                fid
+                for f in token_feats
+                if (fid := feature_ids.get(f)) is not None
+            ]
+            if ids:
+                em[i] = matrix[ids].sum(axis=0)
+        return em
+
+    def _emissions_reference(self, feats: list[list[str]]) -> np.ndarray:
+        """Reference dict-based emission loop (training + parity tests)."""
         K = len(self._tags)
         em = np.zeros((len(feats), K))
         for i, token_feats in enumerate(feats):

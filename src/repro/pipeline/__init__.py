@@ -1,0 +1,22 @@
+"""Sharded multiprocess corpus estimation (the production-scale path).
+
+The paper applies its pipeline corpus-wide — every RecipeDB recipe
+through NER -> Jaccard matching -> unit resolution — and related work
+runs the same estimation over 70k+ recipe datasets.  This subpackage
+distributes :meth:`NutritionEstimator.estimate_corpus`'s two-phase
+protocol across a process pool with an exact-parity guarantee: the
+multi-worker result is bit-identical to the single-process path.
+
+* :mod:`repro.pipeline.spec` — :class:`EstimatorSpec`, the picklable
+  recipe for rebuilding an estimator once per worker,
+* :mod:`repro.pipeline.wire` — the compact wire codec for shipping
+  per-line estimates between workers and the coordinator,
+* :mod:`repro.pipeline.engine` — :class:`ShardedCorpusEstimator`, the
+  coordinator: chunked sharding with imap load balancing, mergeable
+  unit-statistics snapshots, bounded-memory streaming ingestion.
+"""
+
+from repro.pipeline.engine import ShardedCorpusEstimator
+from repro.pipeline.spec import EstimatorSpec
+
+__all__ = ["EstimatorSpec", "ShardedCorpusEstimator"]

@@ -1,0 +1,295 @@
+"""The sharded corpus estimation coordinator.
+
+Distributes the two-phase corpus protocol of
+:meth:`NutritionEstimator.estimate_corpus` across a process pool:
+
+1. **Collect (sharded)** — the coordinator streams the corpus once to
+   count distinct ingredient lines (first-occurrence order), then
+   fans chunks of ``(text, count)`` out to workers with imap load
+   balancing.  Each worker estimates its chunk without the corpus
+   fallback and returns compact wire estimates plus a mergeable
+   unit-observation snapshot.
+2. **Merge** — snapshots merge in chunk order
+   (:meth:`UnitFallback.merge`), reproducing the exact table — counts
+   *and* ``most_common`` tie-break order — a single process builds.
+3. **Re-estimate (sharded)** — only lines that matched a description
+   but failed unit resolution go back to the pool, which re-estimates
+   them against the frozen merged table.
+4. **Assemble** — the coordinator streams the corpus a second time
+   and aggregates per-recipe results with the same float-operation
+   order as the single-process path.
+
+Every per-line outcome depends only on the line text and the merged
+table — never on processing order — so the result is **bit-identical**
+to ``NutritionEstimator.estimate_corpus`` regardless of worker count,
+chunk size or scheduling (``tests/test_pipeline_parallel.py``).
+
+Memory is bounded by the distinct-line working set plus
+``max_pending`` in-flight chunks, not by corpus length: recipes are
+streamed (see :func:`repro.recipedb.corpus.iter_recipes_jsonl`), and a
+semaphore gates the imap feeder so a fast producer cannot buffer the
+whole corpus into the task queue.
+"""
+
+from __future__ import annotations
+
+import gc
+import multiprocessing as mp
+import os
+import threading
+from collections import Counter
+from collections.abc import Callable, Iterable, Iterator, Sequence
+from itertools import islice
+from pathlib import Path
+
+from repro.core.estimator import (
+    STATUS_NAME_ONLY,
+    IngredientEstimate,
+    NutritionEstimator,
+    RecipeEstimate,
+)
+from repro.pipeline.spec import EstimatorSpec
+from repro.pipeline.wire import dumps_estimates, loads_estimates
+from repro.recipedb.corpus import iter_recipes_jsonl
+from repro.recipedb.model import Recipe
+from repro.units.fallback import UnitFallback
+
+#: A corpus source the engine can traverse twice: an in-memory
+#: sequence, or a path to a JSONL file (re-streamed per pass).
+CorpusSource = Sequence[Recipe] | str | Path
+
+# ----------------------------------------------------------------------
+# worker side: one estimator per process, rebuilt from the spec once
+
+_WORKER_ESTIMATOR: NutritionEstimator | None = None
+_WORKER_STATS_INSTALLED = False
+
+
+def _init_worker(spec: EstimatorSpec) -> None:
+    global _WORKER_ESTIMATOR, _WORKER_STATS_INSTALLED
+    _WORKER_ESTIMATOR = spec.build()
+    _WORKER_STATS_INSTALLED = False
+    # On fork start, workers inherit the coordinator heap (recipe
+    # lists, caches) copy-on-write.  Freezing moves those objects out
+    # of the cyclic GC's reach so collection cycles in the worker do
+    # not touch — and therefore copy — inherited pages.
+    gc.freeze()
+
+
+def _collect_chunk(chunk: list[tuple[str, int]]):
+    """Phase-1 task: wire estimates + observation snapshot for a chunk."""
+    estimates, snapshot = _WORKER_ESTIMATOR.corpus_collect_estimates(chunk)
+    wire = dumps_estimates(
+        [estimates[text] for text, _ in chunk], _WORKER_ESTIMATOR.database
+    )
+    return wire, snapshot
+
+
+def _fallback_chunk(task):
+    """Phase-3 task: re-estimate texts against the merged statistics.
+
+    The merged snapshot rides along with each task; a worker installs
+    it once (the engine uses one pool per run, so the snapshot cannot
+    change under a live worker).
+    """
+    global _WORKER_STATS_INSTALLED
+    snapshot, texts = task
+    if not _WORKER_STATS_INSTALLED:
+        fallback = _WORKER_ESTIMATOR.fallback
+        fallback.clear()
+        fallback.merge(snapshot)
+        _WORKER_STATS_INSTALLED = True
+    estimates = _WORKER_ESTIMATOR.corpus_fallback_estimates(texts)
+    return dumps_estimates(
+        [estimates[text] for text in texts], _WORKER_ESTIMATOR.database
+    )
+
+
+# ----------------------------------------------------------------------
+# coordinator
+
+def _chunked(items: Iterable, size: int) -> Iterator[list]:
+    iterator = iter(items)
+    while chunk := list(islice(iterator, size)):
+        yield chunk
+
+
+class ShardedCorpusEstimator:
+    """Corpus estimation across a process pool with exact parity.
+
+    Parameters
+    ----------
+    spec:
+        The estimator configuration every worker rebuilds (default:
+        the default pipeline — embedded database, rule tagger).
+    workers:
+        Process count; ``None`` means ``os.cpu_count()``.  ``1`` runs
+        the identical protocol in-process with no pool (useful as the
+        parity reference and for streaming over huge corpora without
+        IPC).
+    chunk_size:
+        Distinct ingredient lines per pool task.  Bigger chunks
+        amortize task/pickle overhead; smaller chunks balance load.
+    max_pending:
+        In-flight chunk cap for the bounded imap feeder (default
+        ``4 * workers``).
+    """
+
+    def __init__(
+        self,
+        spec: EstimatorSpec | None = None,
+        *,
+        workers: int | None = None,
+        chunk_size: int = 512,
+        max_pending: int | None = None,
+    ):
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be >= 1: {workers}")
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1: {chunk_size}")
+        self._spec = spec or EstimatorSpec()
+        self._workers = workers if workers is not None else (os.cpu_count() or 1)
+        self._chunk_size = chunk_size
+        self._max_pending = max_pending or 4 * self._workers
+        self._local: NutritionEstimator | None = None
+        self._foods = None
+
+    @property
+    def spec(self) -> EstimatorSpec:
+        return self._spec
+
+    @property
+    def workers(self) -> int:
+        return self._workers
+
+    def _local_estimator(self) -> NutritionEstimator:
+        if self._local is None:
+            self._local = self._spec.build()
+        return self._local
+
+    def _food_list(self):
+        if self._foods is None:
+            self._foods = list(self._spec.database())
+        return self._foods
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _stream(source: CorpusSource) -> Iterator[Recipe]:
+        if isinstance(source, (str, Path)):
+            return iter_recipes_jsonl(source)
+        if isinstance(source, Sequence):
+            return iter(source)
+        raise TypeError(
+            "corpus source must be a Sequence[Recipe] or a JSONL path "
+            f"(the engine traverses it twice), got {type(source).__name__}"
+        )
+
+    def estimate_corpus(self, source: CorpusSource) -> list[RecipeEstimate]:
+        """All recipe estimates, in corpus order."""
+        return list(self.iter_corpus_estimates(source))
+
+    def iter_corpus_estimates(
+        self, source: CorpusSource
+    ) -> Iterator[RecipeEstimate]:
+        """Stream recipe estimates in corpus order.
+
+        Results are yielded as the second corpus traversal assembles
+        them, so a consumer that writes them out keeps memory bounded
+        by the distinct-line estimate table.
+        """
+        # Distinct-line working set in first-occurrence order (Counter
+        # preserves insertion order; counting runs at C speed).
+        counts = Counter(
+            text
+            for recipe in self._stream(source)
+            for text in recipe.ingredient_texts
+        )
+        if self._workers == 1:
+            estimates = self._run_local(counts)
+        else:
+            estimates = self._run_pool(counts)
+        finish = NutritionEstimator.finish_recipe
+        for recipe in self._stream(source):
+            yield finish(
+                [estimates[text] for text in recipe.ingredient_texts],
+                recipe.servings,
+            )
+
+    # ------------------------------------------------------------------
+    # execution backends
+
+    def _run_local(self, counts: dict[str, int]) -> dict[str, IngredientEstimate]:
+        return self._local_estimator().corpus_estimate_table(counts)
+
+    def _run_pool(self, counts: dict[str, int]) -> dict[str, IngredientEstimate]:
+        foods = self._food_list()
+        merged_fallback = UnitFallback(self._spec.max_grams)
+        estimates: dict[str, IngredientEstimate] = {}
+        context = mp.get_context()
+        with context.Pool(
+            self._workers, initializer=_init_worker, initargs=(self._spec,)
+        ) as pool:
+            # Phase 1+2: collect shards, merge snapshots in chunk order.
+            chunks = list(_chunked(counts.items(), self._chunk_size))
+            for chunk, (wire, snapshot) in zip(
+                chunks,
+                self._imap_bounded(pool, _collect_chunk, chunks),
+            ):
+                merged_fallback.merge(snapshot)
+                for (text, _), estimate in zip(
+                    chunk, loads_estimates(wire, foods)
+                ):
+                    estimates[text] = estimate
+            # Phase 3: re-estimate fallback candidates against the
+            # frozen merged table.
+            pending = [
+                text
+                for text, estimate in estimates.items()
+                if estimate.status == STATUS_NAME_ONLY
+            ]
+            snapshot = merged_fallback.snapshot()
+            tasks = [
+                (snapshot, chunk)
+                for chunk in _chunked(pending, self._chunk_size)
+            ]
+            for (_, chunk), wire in zip(
+                tasks,
+                self._imap_bounded(pool, _fallback_chunk, tasks),
+            ):
+                for text, estimate in zip(chunk, loads_estimates(wire, foods)):
+                    estimates[text] = estimate
+        return estimates
+
+    def _imap_bounded(
+        self, pool, fn: Callable, tasks: Iterable
+    ) -> Iterator:
+        """``pool.imap`` with at most ``max_pending`` tasks in flight.
+
+        ``Pool.imap``'s feeder thread drains its input greedily; the
+        semaphore makes it stall until results are consumed, keeping
+        queued tasks (and their pickled payloads) bounded.
+
+        The feeder must never block forever: if the consumer stops
+        early (worker exception, ``KeyboardInterrupt``, abandoned
+        generator), ``Pool`` shutdown joins its task-handler thread,
+        which sits inside ``gated()`` — an unconditional ``acquire``
+        there would deadlock the whole process.  Hence the polling
+        acquire with an abort event, set in the ``finally`` below.
+        """
+        gate = threading.Semaphore(self._max_pending)
+        abort = threading.Event()
+
+        def gated() -> Iterator:
+            for task in tasks:
+                while not gate.acquire(timeout=0.05):
+                    if abort.is_set():
+                        return
+                yield task
+
+        try:
+            for result in pool.imap(fn, gated()):
+                gate.release()
+                yield result
+        finally:
+            abort.set()

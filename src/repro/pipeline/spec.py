@@ -1,0 +1,71 @@
+"""Picklable estimator configuration for worker processes.
+
+A process pool cannot ship a live :class:`NutritionEstimator` — it
+holds an inverted index, memo caches and (for learned taggers) weight
+matrices that are expensive to serialize and pointless to copy per
+task.  Instead the coordinator ships one small :class:`EstimatorSpec`
+per worker at pool start-up; each worker rebuilds its estimator once
+and reuses it for every chunk it is handed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.estimator import NutritionEstimator, Tagger
+from repro.matching.matcher import MatcherConfig
+from repro.units.fallback import DEFAULT_MAX_GRAMS, UnitFallback
+from repro.usda.database import NutrientDatabase, load_default_database
+from repro.usda.schema import FoodItem
+from repro.utils import DEFAULT_CACHE_CAP
+
+
+@dataclass(frozen=True)
+class EstimatorSpec:
+    """Everything needed to rebuild an equivalent estimator.
+
+    Attributes
+    ----------
+    foods:
+        Food records for a custom database in insertion (SR-index)
+        order, or ``None`` for the embedded default database (which
+        each process loads once — the cheap, common case).
+    matcher_config:
+        Heuristic switches for the description matcher.
+    tagger:
+        A picklable NER tagger (rule-based tagger or a trained
+        perceptron/CRF), or ``None`` for the default rule tagger.
+    max_grams:
+        The §II-C plausibility threshold for the unit fallback.
+    cache_cap:
+        Size cap for the per-instance memo caches.
+    """
+
+    foods: tuple[FoodItem, ...] | None = None
+    matcher_config: MatcherConfig | None = None
+    tagger: Tagger | None = None
+    max_grams: float = DEFAULT_MAX_GRAMS
+    cache_cap: int = DEFAULT_CACHE_CAP
+
+    @classmethod
+    def for_database(
+        cls, database: NutrientDatabase, **kwargs
+    ) -> "EstimatorSpec":
+        """Spec for a custom database (snapshots its insertion order)."""
+        return cls(foods=tuple(database), **kwargs)
+
+    def database(self) -> NutrientDatabase:
+        """The database this spec describes (built fresh if custom)."""
+        if self.foods is None:
+            return load_default_database()
+        return NutrientDatabase(self.foods)
+
+    def build(self) -> NutritionEstimator:
+        """Construct the estimator this spec describes."""
+        return NutritionEstimator(
+            database=self.database(),
+            tagger=self.tagger,
+            matcher_config=self.matcher_config,
+            fallback=UnitFallback(self.max_grams),
+            cache_cap=self.cache_cap,
+        )

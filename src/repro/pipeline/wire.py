@@ -1,0 +1,81 @@
+"""Compact wire serialization for per-line estimates.
+
+Shipping :class:`IngredientEstimate` lists between processes with
+plain pickle is dominated by one payload item: every estimate drags
+its matched :class:`FoodItem` (nutrients dict + portions, ~1 KB).
+Worker and coordinator build their databases from the same
+:class:`EstimatorSpec`, so the food rows are identical on both sides —
+a food only needs to travel as its database index.
+
+The codec is therefore stock (C-speed) pickle with a
+``dispatch_table`` entry that reduces ``FoodItem`` to
+``_restore_food(index)``; on load the index resolves against the
+receiving side's database.  Everything else — parsed tokens, match
+word sets, the 30-float profile — round-trips through pickle
+unchanged, so ``loads_estimates(dumps_estimates(x, db), db) == x``
+field-for-field with zero hand-maintained field lists.
+"""
+
+from __future__ import annotations
+
+import copyreg
+import io
+import pickle
+from collections.abc import Sequence
+
+from repro.core.estimator import IngredientEstimate
+from repro.usda.database import NutrientDatabase
+from repro.usda.schema import FoodItem
+
+#: Foods of the database the *current* loads_estimates call resolves
+#: against.  Module-global because pickle's reduce callbacks receive
+#: only their stored arguments; set/cleared around each load (the
+#: engine coordinator is single-threaded).
+_LOAD_FOODS: Sequence[FoodItem] | None = None
+
+
+def _restore_food(index: int) -> FoodItem:
+    if _LOAD_FOODS is None:
+        raise RuntimeError(
+            "estimate wire records can only be unpickled via "
+            "loads_estimates (no database bound)"
+        )
+    return _LOAD_FOODS[index]
+
+
+class _EstimatePickler(pickle.Pickler):
+    """Pickler that writes foods as database indices."""
+
+    def __init__(self, buffer: io.BytesIO, database: NutrientDatabase):
+        super().__init__(buffer, protocol=pickle.HIGHEST_PROTOCOL)
+        index_of = database.index_of
+        table = copyreg.dispatch_table.copy()
+        table[FoodItem] = lambda food: (
+            _restore_food, (index_of(food.ndb_no),)
+        )
+        self.dispatch_table = table
+
+
+def dumps_estimates(
+    estimates: Sequence[IngredientEstimate], database: NutrientDatabase
+) -> bytes:
+    """Serialize estimates, replacing foods with database indices."""
+    buffer = io.BytesIO()
+    _EstimatePickler(buffer, database).dump(list(estimates))
+    return buffer.getvalue()
+
+
+def loads_estimates(
+    blob: bytes, database: NutrientDatabase | Sequence[FoodItem]
+) -> list[IngredientEstimate]:
+    """Deserialize estimates, resolving food indices in *database*."""
+    global _LOAD_FOODS
+    _LOAD_FOODS = (
+        list(database)
+        if isinstance(database, NutrientDatabase)
+        else database
+    )
+    try:
+        return pickle.loads(blob)
+    finally:
+        _LOAD_FOODS = None

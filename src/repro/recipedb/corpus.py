@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+from collections.abc import Iterator
 from pathlib import Path
 
 from repro.ner.corpus import TaggedPhrase
@@ -60,25 +61,32 @@ def save_recipes_jsonl(recipes: list[Recipe], path: str | Path) -> None:
             )
 
 
-def load_recipes_jsonl(path: str | Path) -> list[Recipe]:
-    """Inverse of :func:`save_recipes_jsonl`."""
-    recipes: list[Recipe] = []
+def iter_recipes_jsonl(path: str | Path) -> Iterator[Recipe]:
+    """Stream recipes from a JSONL corpus one at a time.
+
+    Memory stays bounded by a single recipe regardless of corpus
+    length — the sharded estimation engine feeds its process pool from
+    this iterator (twice: once to collect distinct-line statistics,
+    once to assemble results), so corpora much larger than RAM work.
+    """
     with Path(path).open(encoding="utf-8") as fh:
         for line in fh:
             if not line.strip():
                 continue
             data = json.loads(line)
-            recipes.append(
-                Recipe(
-                    recipe_id=data["recipe_id"],
-                    title=data["title"],
-                    cuisine=data["cuisine"],
-                    source=data["source"],
-                    servings=data["servings"],
-                    ingredients=tuple(
-                        _ingredient_from_dict(i) for i in data["ingredients"]
-                    ),
-                    gold_calories_per_serving=data["gold_calories_per_serving"],
-                )
+            yield Recipe(
+                recipe_id=data["recipe_id"],
+                title=data["title"],
+                cuisine=data["cuisine"],
+                source=data["source"],
+                servings=data["servings"],
+                ingredients=tuple(
+                    _ingredient_from_dict(i) for i in data["ingredients"]
+                ),
+                gold_calories_per_serving=data["gold_calories_per_serving"],
             )
-    return recipes
+
+
+def load_recipes_jsonl(path: str | Path) -> list[Recipe]:
+    """Inverse of :func:`save_recipes_jsonl`."""
+    return list(iter_recipes_jsonl(path))

@@ -82,12 +82,23 @@ class GeneratorConfig:
     p_state_before_name: float = 0.35
     p_no_quantity: float = 0.02      # "salt to taste"
     gold_noise_fraction: float = 0.04  # physical-variation noise (std)
+    #: Probability that an ingredient slot reuses a previously
+    #: generated line for the same ingredient instead of rendering a
+    #: fresh surface form.  Reused lines re-enter the pool, so popular
+    #: phrasings grow rich-get-richer — the Zipf-like verbatim-line
+    #: duplication of scraped corpora ("1 teaspoon vanilla extract"
+    #: appears in thousands of AllRecipes recipes), which corpus-scale
+    #: caching and the two-phase estimation protocol exploit.  0
+    #: (default) disables reuse and leaves the generator's output
+    #: byte-identical to earlier versions.
+    line_reuse: float = 0.0
 
     def __post_init__(self) -> None:
         if not (1 <= self.min_ingredients <= self.max_ingredients):
             raise ValueError("bad ingredient count bounds")
         for name in ("p_range_quantity", "p_packaging", "p_alternative",
-                     "p_trailer", "p_state_before_name", "p_no_quantity"):
+                     "p_trailer", "p_state_before_name", "p_no_quantity",
+                     "line_reuse"):
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
                 raise ValueError(f"{name} out of [0, 1]: {value}")
@@ -106,6 +117,10 @@ class RecipeGenerator:
         self._rng = random.Random(self._config.seed)
         self._resolvers: dict[str, UnitResolver] = {}
         self._cuisine_names = sorted(CUISINES)
+        # Per-spec pools of previously emitted lines for line_reuse;
+        # grows over the generator's lifetime so duplication is
+        # corpus-wide, like the scraped corpora it models.
+        self._line_pool: dict[str, list[Ingredient]] = {}
 
     # ------------------------------------------------------------------
     # gram / kcal truth
@@ -288,6 +303,26 @@ class RecipeGenerator:
             ),
         )
 
+    def _pooled_ingredient(
+        self, spec: IngredientSpec, rng: random.Random
+    ) -> Ingredient:
+        """Build or (with ``line_reuse``) replay an ingredient line.
+
+        With reuse disabled this is exactly :meth:`build_ingredient`
+        and consumes no extra randomness, keeping default-config
+        corpora byte-identical to earlier versions.
+        """
+        reuse = self._config.line_reuse
+        if reuse <= 0.0:
+            return self.build_ingredient(spec, rng)
+        pool = self._line_pool.setdefault(spec.key, [])
+        if pool and rng.random() < reuse:
+            ingredient = rng.choice(pool)
+        else:
+            ingredient = self.build_ingredient(spec, rng)
+        pool.append(ingredient)
+        return ingredient
+
     def _state_pairs(self, state: str) -> list[tuple[str, str]]:
         """Tag a state string: adverbs and connectives are O (Table I)."""
         pairs = []
@@ -310,7 +345,7 @@ class RecipeGenerator:
         keys = rng.sample(pool_keys, n)
         specs = {s.key: s for s in INGREDIENTS}
         ingredients = tuple(
-            self.build_ingredient(specs[k], rng) for k in keys
+            self._pooled_ingredient(specs[k], rng) for k in keys
         )
         servings = rng.choice(self._config.servings_choices)
         total = sum(i.truth.kcal for i in ingredients)

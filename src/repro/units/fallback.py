@@ -60,9 +60,23 @@ class UnitFallback:
         self._max_grams = max_grams
         self._counts: dict[str, Counter[str]] = defaultdict(Counter)
 
-    def observe(self, ingredient: str, unit: str) -> None:
-        """Record one resolved unit usage for *ingredient*."""
-        self._counts[ingredient.lower()][unit] += 1
+    @property
+    def max_grams(self) -> float:
+        """The plausibility threshold (grams per ingredient line)."""
+        return self._max_grams
+
+    def observe(self, ingredient: str, unit: str, count: int = 1) -> None:
+        """Record *count* resolved usages of *unit* for *ingredient*.
+
+        The weighted form exists for the corpus protocol: a distinct
+        ingredient line that occurs N times contributes N observations
+        in one call, which yields exactly the same counts (and the
+        same key insertion order, hence the same ``most_common``
+        tie-breaks) as N sequential calls.
+        """
+        if count <= 0:
+            raise ValueError(f"non-positive observation count: {count}")
+        self._counts[ingredient.lower()][unit] += count
 
     def most_frequent_unit(self, ingredient: str) -> str | None:
         """Dominant unit for *ingredient*, or ``None`` if never seen."""
@@ -74,6 +88,41 @@ class UnitFallback:
     def plausible(self, quantity: float, grams_per_unit: float) -> bool:
         """Sanity threshold on total grams for one ingredient line."""
         return 0 < quantity * grams_per_unit <= self._max_grams
+
+    # ------------------------------------------------------------------
+    # mergeable corpus statistics (sharded estimation protocol)
+
+    def snapshot(self) -> dict[str, dict[str, int]]:
+        """Picklable copy of the observation table.
+
+        Both levels preserve insertion order (first-observation order),
+        which :meth:`merge` relies on to reproduce single-process
+        ``most_common`` tie-breaking exactly.
+        """
+        return {
+            ingredient: dict(units)
+            for ingredient, units in self._counts.items()
+        }
+
+    def merge(self, snapshot: dict[str, dict[str, int]]) -> None:
+        """Add a :meth:`snapshot` (e.g. from a worker shard) into this table.
+
+        Merging per-shard snapshots *in shard order* over contiguous
+        corpus shards reproduces the exact table a single process
+        builds scanning the corpus front to back: counts add, and keys
+        are inserted in first-shard-that-saw-them order, which equals
+        first-occurrence order.  ``Counter.most_common`` breaks count
+        ties by insertion order, so the dominant-unit answers are
+        identical too.
+        """
+        for ingredient, units in snapshot.items():
+            counts = self._counts[ingredient]
+            for unit, count in units.items():
+                counts[unit] += count
+
+    def clear(self) -> None:
+        """Drop all observations (corpus runs compute stats from scratch)."""
+        self._counts.clear()
 
     def observed_ingredients(self) -> list[str]:
         """All ingredient names with at least one observation."""

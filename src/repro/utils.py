@@ -1,0 +1,46 @@
+"""Small shared utilities.
+
+Currently: :class:`BoundedCache`, the size-capped memo dict used by the
+long-running batch paths (estimator parse cache, matcher token/lemma
+and result memos) so corpus-scale processes cannot grow memory without
+limit.
+"""
+
+from __future__ import annotations
+
+from typing import TypeVar
+
+K = TypeVar("K")
+V = TypeVar("V")
+
+#: Default entry cap for per-instance memo caches.  Generous enough
+#: that realistic corpora never evict (RecipeDB has ~23k distinct
+#: ingredient phrases), small enough to bound a service that sees
+#: adversarially diverse input.
+DEFAULT_CACHE_CAP = 1 << 17
+
+
+class BoundedCache(dict[K, V]):
+    """A dict memo with a hard size cap and FIFO eviction.
+
+    Insertion past the cap evicts the oldest entry (dicts preserve
+    insertion order).  FIFO rather than LRU on purpose: these caches
+    memoize pure functions, so an eviction only costs a recompute, and
+    FIFO needs no bookkeeping on the hit path — ``get`` stays a plain
+    dict lookup.
+    """
+
+    def __init__(self, cap: int = DEFAULT_CACHE_CAP):
+        if cap <= 0:
+            raise ValueError(f"cache cap must be positive: {cap}")
+        super().__init__()
+        self._cap = cap
+
+    @property
+    def cap(self) -> int:
+        return self._cap
+
+    def __setitem__(self, key: K, value: V) -> None:
+        if key not in self and len(self) >= self._cap:
+            del self[next(iter(self))]
+        super().__setitem__(key, value)

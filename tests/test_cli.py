@@ -123,3 +123,50 @@ class TestBatch:
         capsys.readouterr()
         assert main(["batch", str(path), "--passes", "0"]) == 2
         assert "--passes must be >= 1" in capsys.readouterr().out
+
+    def test_batch_sharded_workers(self, tmp_path, capsys):
+        path = tmp_path / "corpus.jsonl"
+        main(["generate", "--recipes", "6", "--out", str(path)])
+        capsys.readouterr()
+        assert main(["batch", str(path), "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "6 recipes" in out
+        assert "2 worker(s), two-phase corpus protocol" in out
+
+    def test_batch_jsonl_streaming(self, tmp_path, capsys):
+        path = tmp_path / "corpus.jsonl"
+        main(["generate", "--recipes", "5", "--out", str(path)])
+        capsys.readouterr()
+        assert main(["batch", str(path), "--jsonl"]) == 0
+        out = capsys.readouterr().out
+        assert "5 recipes" in out
+        assert "1 worker(s), two-phase corpus protocol" in out
+
+    def test_batch_modes_agree_per_recipe(self, tmp_path, capsys):
+        """--workers/--jsonl change execution strategy, never results:
+        all three modes run the same two-phase corpus protocol."""
+        path = tmp_path / "corpus.jsonl"
+        main(["generate", "--recipes", "5", "--out", str(path)])
+        capsys.readouterr()
+        main(["batch", str(path), "--jsonl"])
+        streamed = capsys.readouterr().out.splitlines()
+        main(["batch", str(path), "--workers", "2"])
+        sharded = capsys.readouterr().out.splitlines()
+        main(["batch", str(path)])
+        classic = capsys.readouterr().out.splitlines()
+        # identical per-recipe lines (the trailing timing line differs)
+        assert streamed[:-2] == sharded[:-2] == classic[:-2]
+
+    def test_batch_engine_ignores_passes_with_notice(self, tmp_path, capsys):
+        path = tmp_path / "corpus.jsonl"
+        main(["generate", "--recipes", "2", "--out", str(path)])
+        capsys.readouterr()
+        assert main(["batch", str(path), "--jsonl", "--passes", "3"]) == 0
+        assert "--passes 3 is ignored" in capsys.readouterr().out
+
+    def test_batch_rejects_bad_workers(self, tmp_path, capsys):
+        path = tmp_path / "corpus.jsonl"
+        main(["generate", "--recipes", "2", "--out", str(path)])
+        capsys.readouterr()
+        assert main(["batch", str(path), "--workers", "0"]) == 2
+        assert "--workers must be >= 1" in capsys.readouterr().out

@@ -158,11 +158,61 @@ class TestBatchEstimation:
                [e.per_serving for e in expected]
         assert [b.total for b in batch] == [e.total for e in expected]
 
-    def test_estimate_corpus_delegates_to_batch(self, generator):
+    def test_estimate_corpus_single_pass_delegates_to_batch(self, generator):
         recipes = generator.generate(10)
-        a = NutritionEstimator().estimate_corpus(recipes, passes=2)
-        b = NutritionEstimator().estimate_recipes(recipes, passes=2)
-        assert [x.total for x in a] == [y.total for y in b]
+        a = NutritionEstimator().estimate_corpus(recipes, passes=1)
+        b = NutritionEstimator().estimate_recipes(recipes, passes=1)
+        assert a == b
+
+    def test_estimate_corpus_matches_explicit_two_phase_protocol(
+        self, generator
+    ):
+        """estimate_corpus == collect / merge / re-estimate / assemble
+        spelled out by hand through the public phase methods."""
+        recipes = generator.generate(25)
+        result = NutritionEstimator().estimate_corpus(recipes, passes=2)
+
+        reference = NutritionEstimator()
+        counts: dict[str, int] = {}
+        for recipe in recipes:
+            for text in recipe.ingredient_texts:
+                counts[text] = counts.get(text, 0) + 1
+        estimates, observations = reference.corpus_collect_estimates(
+            counts.items()
+        )
+        reference.fallback.clear()
+        reference.fallback.merge(observations)
+        pending = [
+            text for text, est in estimates.items()
+            if est.status == STATUS_NAME_ONLY
+        ]
+        estimates.update(reference.corpus_fallback_estimates(pending))
+        expected = [
+            reference.finish_recipe(
+                [estimates[t] for t in r.ingredient_texts], r.servings
+            )
+            for r in recipes
+        ]
+        assert result == expected
+
+    def test_estimate_corpus_is_order_independent(self, generator):
+        """The two-phase protocol's defining property: shuffling the
+        corpus permutes the results but never changes them."""
+        import random
+
+        recipes = generator.generate(40)
+        shuffled = list(recipes)
+        random.Random(9).shuffle(shuffled)
+        by_id = {
+            r.recipe_id: e
+            for r, e in zip(
+                recipes, NutritionEstimator().estimate_corpus(recipes)
+            )
+        }
+        for recipe, estimate in zip(
+            shuffled, NutritionEstimator().estimate_corpus(shuffled)
+        ):
+            assert estimate == by_id[recipe.recipe_id]
 
     def test_estimate_recipes_validates_passes(self, generator):
         recipes = generator.generate(2)

@@ -55,3 +55,67 @@ class TestUnitFallback:
         fb.observe("salt", "tablespoon")
         assert fb.unit_distribution("salt") == {"teaspoon": 2, "tablespoon": 1}
         assert fb.observed_ingredients() == ["salt"]
+
+    def test_weighted_observe_equals_repeated(self):
+        repeated, weighted = UnitFallback(), UnitFallback()
+        for _ in range(4):
+            repeated.observe("garlic", "clove")
+        weighted.observe("garlic", "clove", count=4)
+        assert repeated.snapshot() == weighted.snapshot()
+
+    def test_observe_rejects_non_positive_count(self):
+        with pytest.raises(ValueError):
+            UnitFallback().observe("garlic", "clove", count=0)
+
+
+class TestSnapshotMerge:
+    def test_sharded_merge_equals_sequential(self):
+        """Contiguous shards merged in order reproduce the exact table
+        — counts and insertion order — of a front-to-back scan."""
+        observations = [
+            ("garlic", "clove"), ("onion", "cup"), ("garlic", "teaspoon"),
+            ("garlic", "clove"), ("salt", "teaspoon"), ("onion", "cup"),
+            ("salt", "pinch"), ("salt", "pinch"),
+        ]
+        sequential = UnitFallback()
+        for name, unit in observations:
+            sequential.observe(name, unit)
+
+        merged = UnitFallback()
+        for start in range(0, len(observations), 3):
+            shard = UnitFallback()
+            for name, unit in observations[start:start + 3]:
+                shard.observe(name, unit)
+            merged.merge(shard.snapshot())
+
+        assert merged.snapshot() == sequential.snapshot()
+        # Key order (the most_common tie-break) must match too.
+        assert list(merged.snapshot()) == list(sequential.snapshot())
+        for name in ("garlic", "onion", "salt"):
+            assert merged.most_frequent_unit(name) == \
+                sequential.most_frequent_unit(name)
+
+    def test_merge_preserves_tie_break_order(self):
+        # "cup" and "tablespoon" tie at 1; first-observed must win,
+        # also after a merge that adds the later unit first-in-shard.
+        a, b = UnitFallback(), UnitFallback()
+        a.observe("butter", "cup")
+        b.observe("butter", "tablespoon")
+        target = UnitFallback()
+        target.merge(a.snapshot())
+        target.merge(b.snapshot())
+        assert target.most_frequent_unit("butter") == "cup"
+
+    def test_snapshot_is_a_copy(self):
+        fb = UnitFallback()
+        fb.observe("salt", "teaspoon")
+        snap = fb.snapshot()
+        snap["salt"]["teaspoon"] = 99
+        assert fb.unit_distribution("salt") == {"teaspoon": 1}
+
+    def test_clear(self):
+        fb = UnitFallback()
+        fb.observe("salt", "teaspoon")
+        fb.clear()
+        assert fb.most_frequent_unit("salt") is None
+        assert fb.observed_ingredients() == []

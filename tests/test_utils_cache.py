@@ -1,0 +1,53 @@
+"""Tests for the size-capped memo cache."""
+
+import pytest
+
+from repro.core.estimator import NutritionEstimator
+from repro.utils import BoundedCache
+
+
+class TestBoundedCache:
+    def test_acts_like_a_dict_under_cap(self):
+        cache = BoundedCache(cap=3)
+        cache["a"] = 1
+        cache["b"] = 2
+        assert cache["a"] == 1
+        assert cache.get("missing") is None
+        assert len(cache) == 2
+
+    def test_evicts_oldest_at_cap(self):
+        cache = BoundedCache(cap=3)
+        for key in "abcd":
+            cache[key] = key.upper()
+        assert len(cache) == 3
+        assert "a" not in cache
+        assert list(cache) == ["b", "c", "d"]
+
+    def test_overwrite_does_not_evict(self):
+        cache = BoundedCache(cap=2)
+        cache["a"] = 1
+        cache["b"] = 2
+        cache["a"] = 3  # update in place, no eviction
+        assert cache == {"a": 3, "b": 2}
+
+    def test_rejects_non_positive_cap(self):
+        with pytest.raises(ValueError):
+            BoundedCache(cap=0)
+
+
+class TestCapsAreWired:
+    def test_estimator_caches_respect_cap(self):
+        estimator = NutritionEstimator(cache_cap=4)
+        phrases = [
+            "1 cup white sugar", "2 tbsp butter", "3 eggs",
+            "1 teaspoon salt", "2 cups all-purpose flour",
+            "1 small onion", "1/2 lb ground beef",
+        ]
+        for phrase in phrases:
+            estimator.estimate_ingredient(phrase)
+        assert len(estimator._parse_cache) <= 4
+        assert len(estimator._matcher._cache) <= 4
+        # Capped caching changes memory use, never results.
+        first = estimator.estimate_ingredient(phrases[0])
+        fresh = NutritionEstimator().estimate_ingredient(phrases[0])
+        assert first.profile == fresh.profile
