@@ -1,0 +1,241 @@
+"""HTTP service latency/throughput — the PR 3 tentpole benchmark.
+
+Boots a live :class:`repro.service.NutritionService` on an
+OS-assigned port and drives it over one keep-alive connection (the
+client a downstream consumer would write), measuring client-observed
+per-request latency for:
+
+* **uncached `/v1/estimate`** — distinct recipes from a generated
+  corpus (every request runs the full pipeline),
+* **cached repeats** — a small payload set cycled many times, served
+  from the response cache; the acceptance floor is sustained
+  ≥ 1,000 req/s (≥ 300 in CI smoke mode, where the benchmark shares
+  one core with the server thread *and* the CI matrix),
+* **`/v1/match` and `/v1/parse`** — the lighter endpoints,
+* **`/v1/estimate_batch`** — the whole corpus in one request, with
+  per-line throughput.
+
+Each series records p50/p95/p99/max milliseconds into
+``results/BENCH_service.json`` so the latency trajectory is tracked
+from PR 3 onward.
+
+Run::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_service.py -q
+    PYTHONPATH=src python benchmarks/bench_service.py   # standalone
+    REPRO_BENCH_SMOKE=1 ...                             # CI smoke
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import time
+
+from conftest import write_result
+
+from repro import RecipeGenerator
+from repro.recipedb.generator import GeneratorConfig
+from repro.service import NutritionService, ServiceConfig
+from repro.service.metrics import percentile
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") == "1"
+
+#: Recipes in the uncached series / the batch request.
+N_RECIPES = 40 if SMOKE else 200
+#: Requests in the cached-repeat series.
+N_CACHED = 600 if SMOKE else 5000
+#: Distinct payloads the cached series cycles through.
+N_CACHED_DISTINCT = 8
+#: Acceptance floor for cached repeats, requests per second.
+MIN_CACHED_RPS = 300.0 if SMOKE else 1000.0
+
+_RESULTS: dict | None = None
+
+
+def _percentiles(latencies_s: list[float]) -> dict:
+    samples = sorted(value * 1000.0 for value in latencies_s)
+    return {
+        "count": len(samples),
+        "p50_ms": round(percentile(samples, 0.50), 4),
+        "p95_ms": round(percentile(samples, 0.95), 4),
+        "p99_ms": round(percentile(samples, 0.99), 4),
+        "max_ms": round(samples[-1], 4) if samples else 0.0,
+    }
+
+
+def _timed_post(conn, path: str, body: str) -> tuple[float, int, bytes]:
+    start = time.perf_counter()
+    conn.request("POST", path, body)
+    response = conn.getresponse()
+    payload = response.read()
+    return time.perf_counter() - start, response.status, payload
+
+
+def _drive(conn, path: str, bodies: list[str]) -> tuple[list[float], int]:
+    """POST each body once; returns (latencies, error count)."""
+    latencies: list[float] = []
+    errors = 0
+    for body in bodies:
+        elapsed, status, _ = _timed_post(conn, path, body)
+        latencies.append(elapsed)
+        errors += status != 200
+    return latencies, errors
+
+
+def run_benchmark() -> dict:
+    """Boot a service, drive every series once, return the results."""
+    global _RESULTS
+    if _RESULTS is not None:
+        return _RESULTS
+
+    generator = RecipeGenerator(config=GeneratorConfig(seed=7))
+    recipes = generator.generate(N_RECIPES)
+    estimate_bodies = [
+        json.dumps(
+            {"ingredients": r.ingredient_texts, "servings": r.servings}
+        )
+        for r in recipes
+    ]
+
+    started = time.perf_counter()
+    with NutritionService(ServiceConfig(port=0)) as service:
+        startup_s = time.perf_counter() - started
+        conn = http.client.HTTPConnection(
+            service.host, service.port, timeout=120
+        )
+
+        # --- uncached estimates: every payload distinct, full pipeline.
+        uncached, uncached_errors = _drive(
+            conn, "/v1/estimate", estimate_bodies
+        )
+
+        # --- cached repeats: cycle a small payload set (now warm).
+        cycle = estimate_bodies[:N_CACHED_DISTINCT]
+        cached: list[float] = []
+        cached_errors = 0
+        cached_started = time.perf_counter()
+        for i in range(N_CACHED):
+            elapsed, status, _ = _timed_post(
+                conn, "/v1/estimate", cycle[i % len(cycle)]
+            )
+            cached.append(elapsed)
+            cached_errors += status != 200
+        cached_wall = time.perf_counter() - cached_started
+        cached_rps = N_CACHED / cached_wall
+
+        # --- match / parse: distinct then repeated queries.
+        match_bodies = [
+            json.dumps({"name": r.ingredients[0].text.split(",")[0][:60]})
+            for r in recipes[: min(N_RECIPES, 100)]
+        ]
+        match_latencies, match_errors = _drive(
+            conn, "/v1/match", match_bodies
+        )
+        parse_bodies = [
+            json.dumps({"text": r.ingredients[0].text})
+            for r in recipes[: min(N_RECIPES, 100)]
+        ]
+        parse_latencies, parse_errors = _drive(
+            conn, "/v1/parse", parse_bodies
+        )
+
+        # --- one corpus-sized batch request.
+        batch_body = json.dumps({
+            "recipes": [
+                {"ingredients": r.ingredient_texts, "servings": r.servings}
+                for r in recipes
+            ],
+        })
+        batch_s, batch_status, batch_payload = _timed_post(
+            conn, "/v1/estimate_batch", batch_body
+        )
+        n_lines = sum(len(r.ingredients) for r in recipes)
+
+        # --- server-side view for cross-checking.
+        conn.request("GET", "/metrics")
+        metrics = json.loads(conn.getresponse().read())
+        conn.close()
+
+    results = {
+        "benchmark": "service",
+        "smoke": SMOKE,
+        "config": {
+            "n_recipes": N_RECIPES,
+            "n_cached_requests": N_CACHED,
+            "n_cached_distinct": N_CACHED_DISTINCT,
+            "min_cached_rps": MIN_CACHED_RPS,
+        },
+        "startup_s": round(startup_s, 3),
+        "estimate_uncached": {
+            **_percentiles(uncached),
+            "errors": uncached_errors,
+            "rps": round(len(uncached) / sum(uncached), 1),
+        },
+        "estimate_cached": {
+            **_percentiles(cached),
+            "errors": cached_errors,
+            "rps": round(cached_rps, 1),
+        },
+        "match": {**_percentiles(match_latencies), "errors": match_errors},
+        "parse": {**_percentiles(parse_latencies), "errors": parse_errors},
+        "estimate_batch": {
+            "recipes": N_RECIPES,
+            "lines": n_lines,
+            "status": batch_status,
+            "seconds": round(batch_s, 3),
+            "lines_per_s": round(n_lines / batch_s, 1),
+            "response_bytes": len(batch_payload),
+        },
+        "server_metrics": {
+            "requests_total": metrics["requests_total"],
+            "errors_total": metrics["errors_total"],
+            "cache_hits_total": metrics["cache_hits_total"],
+        },
+    }
+    write_result("BENCH_service.json", json.dumps(results, indent=2))
+    _RESULTS = results
+    return results
+
+
+# ----------------------------------------------------------------------
+# assertions (pytest entry points)
+
+
+def test_all_requests_succeed():
+    results = run_benchmark()
+    assert results["estimate_uncached"]["errors"] == 0
+    assert results["estimate_cached"]["errors"] == 0
+    assert results["match"]["errors"] == 0
+    assert results["parse"]["errors"] == 0
+    assert results["estimate_batch"]["status"] == 200
+    assert results["server_metrics"]["errors_total"] == 0
+
+
+def test_cached_repeats_sustain_rps_floor():
+    results = run_benchmark()
+    cached = results["estimate_cached"]
+    assert cached["rps"] >= MIN_CACHED_RPS, (
+        f"cached repeats at {cached['rps']} req/s "
+        f"(floor {MIN_CACHED_RPS}); p50 {cached['p50_ms']} ms"
+    )
+
+
+def test_cache_actually_served_the_repeats():
+    results = run_benchmark()
+    # Everything past the first cycle of distinct payloads must hit.
+    expected_hits = N_CACHED - N_CACHED_DISTINCT
+    assert results["server_metrics"]["cache_hits_total"] >= expected_hits
+
+
+def test_cached_is_faster_than_uncached():
+    results = run_benchmark()
+    assert (
+        results["estimate_cached"]["p50_ms"]
+        < results["estimate_uncached"]["p50_ms"]
+    )
+
+
+if __name__ == "__main__":
+    print(json.dumps(run_benchmark(), indent=2))

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Drive the HTTP service in-process: start, query, shut down.
+
+Boots a :class:`repro.service.NutritionService` on an OS-assigned port
+(no external process, no fixed port to collide on), then issues the
+requests a downstream consumer — a recipe recommender, a calorie
+dataset builder — would send over the network:
+
+* ``GET /healthz``          — wait until the service is live,
+* ``POST /v1/estimate``     — the Piroszhki recipe from the paper's
+  Table I, printed as a per-serving profile,
+* ``POST /v1/match``        — a closest-description lookup,
+* ``POST /v1/estimate`` ×2  — the same payload again to show the
+  response cache answering (the ``X-Cache: hit`` header),
+* ``GET /metrics``          — the per-endpoint counters afterwards.
+
+Usage::
+
+    python examples/serve_client.py
+"""
+
+import http.client
+import json
+
+from repro.recipedb import PIROSZHKI_PHRASES
+from repro.service import NutritionService, ServiceConfig
+
+
+def request(conn, method: str, path: str, payload=None):
+    """One JSON round-trip; returns (status, X-Cache header, body)."""
+    body = None if payload is None else json.dumps(payload)
+    conn.request(method, path, body)
+    response = conn.getresponse()
+    return response.status, response.getheader("X-Cache"), json.loads(
+        response.read()
+    )
+
+
+def main() -> None:
+    # port=0 lets the OS pick a free port; the warm estimator is built
+    # once here and shared by every request that follows.
+    with NutritionService(ServiceConfig(port=0)) as service:
+        conn = http.client.HTTPConnection(service.host, service.port)
+
+        status, _, health = request(conn, "GET", "/healthz")
+        print(f"service up at {service.url}  ({status}, {health['status']})\n")
+
+        payload = {"ingredients": list(PIROSZHKI_PHRASES), "servings": 6}
+        status, cache, estimate = request(conn, "POST", "/v1/estimate", payload)
+        print("POST /v1/estimate — Piroszhki (Little Russian Pastries):")
+        for item in estimate["ingredients"]:
+            description = (
+                item["match"]["description"] if item["match"] else "(unmatched)"
+            )
+            print(
+                f"  {item['text'][:42]:44} {item['grams']:8.1f} g  "
+                f"{description[:40]}"
+            )
+        print("\n  per-serving profile:")
+        for nutrient, value in sorted(estimate["per_serving"].items()):
+            print(f"    {nutrient:18} {value:10.2f}")
+
+        status, _, match = request(
+            conn, "POST", "/v1/match", {"name": "red lentils"}
+        )
+        print(
+            f"\nPOST /v1/match — red lentils -> "
+            f"{match['match']['description']} "
+            f"(score {match['match']['score']:.3f})"
+        )
+
+        status, cache, repeat = request(conn, "POST", "/v1/estimate", payload)
+        print(f"\nsame estimate again: X-Cache={cache} "
+              f"(identical: {repeat == estimate})")
+
+        _, _, metrics = request(conn, "GET", "/metrics")
+        print(f"\nGET /metrics — {metrics['requests_total']} requests, "
+              f"{metrics['cache_hits_total']} cache hit(s); per endpoint:")
+        for endpoint, stats in metrics["endpoints"].items():
+            print(f"  {endpoint:22} {stats['requests']:3d} requests  "
+                  f"p50 {stats['latency_ms']['p50']:7.2f} ms")
+
+        conn.close()
+    print("\nservice shut down cleanly")
+
+
+if __name__ == "__main__":
+    main()

@@ -7,6 +7,12 @@ database, an NER subsystem (CRF + averaged perceptron), the modified-
 Jaccard description matcher, the unit-matching machinery, and a
 RecipeDB-style corpus generator with exact ground truth.
 
+On top of the paper's pipeline sit two production layers:
+:mod:`repro.pipeline` (the sharded multiprocess corpus engine with an
+exact-parity guarantee) and :mod:`repro.service` (a dependency-free
+HTTP JSON API over a warm shared estimator — ``python -m repro
+serve``).
+
 Quickstart::
 
     from repro import NutritionEstimator
@@ -18,6 +24,10 @@ Quickstart::
         servings=6,
     )
     print(round(recipe.per_serving.calories), "kcal per serving")
+
+See ``README.md`` for the full tour, ``docs/architecture.md`` for the
+module map and data flow, and ``docs/api.md`` for the HTTP and Python
+APIs.
 """
 
 from repro.core.estimator import (

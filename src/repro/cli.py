@@ -6,8 +6,16 @@ Subcommands::
     python -m repro parse "1 small onion , finely chopped"
     python -m repro match "red lentils" --state rinsed --explain
     python -m repro generate --recipes 5 --out corpus.jsonl
-    python -m repro batch corpus.jsonl
+    python -m repro batch corpus.jsonl --workers 4 --jsonl
+    python -m repro serve --port 8080 --workers 2
     python -m repro tables
+
+``batch`` runs the two-phase corpus protocol; ``--workers N`` (N > 1)
+fans it out through the sharded multiprocess engine and ``--jsonl``
+streams the corpus with bounded memory.  ``serve`` stands up the
+long-lived HTTP JSON API (``/v1/estimate``, ``/v1/estimate_batch``,
+``/v1/match``, ``/v1/parse``, ``/healthz``, ``/metrics`` — see
+``docs/api.md``) on a warm shared estimator.
 """
 
 from __future__ import annotations
@@ -25,6 +33,8 @@ from repro.recipedb.corpus import (
     save_recipes_jsonl,
 )
 from repro.recipedb.generator import GeneratorConfig, RecipeGenerator
+from repro.service import ServiceConfig, serve
+from repro.service.state import DEFAULT_RESPONSE_CACHE_CAP
 from repro.eval.tables import (
     render_table_i,
     render_table_ii,
@@ -159,6 +169,21 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the long-lived HTTP service (blocking; Ctrl-C to stop)."""
+    try:
+        config = ServiceConfig(
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            cache_cap=args.cache_cap,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}")
+        return 2
+    return serve(config)
+
+
 def _cmd_tables(args: argparse.Namespace) -> int:
     for title, render in (
         ("Table I — NER tag extraction", render_table_i),
@@ -177,6 +202,16 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Nutritional profile estimation in cooking recipes "
                     "(Kalra et al., ICDE 2020 reproduction)",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "examples:\n"
+            '  repro estimate --servings 4 "2 cups flour" "1 tsp salt"\n'
+            "  repro generate --recipes 200 --out corpus.jsonl\n"
+            "  repro batch corpus.jsonl --workers 4 --jsonl\n"
+            "  repro serve --port 8080 --workers 2\n"
+            "\n"
+            "see README.md for a tour and docs/api.md for the HTTP API"
+        ),
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -210,6 +245,23 @@ def build_parser() -> argparse.ArgumentParser:
                        help="stream the corpus (bounded memory) through "
                             "the corpus engine instead of loading it")
     batch.set_defaults(func=_cmd_batch)
+
+    serve_cmd = sub.add_parser(
+        "serve", help="run the long-lived HTTP estimation service")
+    serve_cmd.add_argument("--host", default="127.0.0.1",
+                           help="bind address (default 127.0.0.1)")
+    serve_cmd.add_argument("--port", type=int, default=8080,
+                           help="bind port; 0 picks a free one "
+                                "(default 8080)")
+    serve_cmd.add_argument("--workers", type=int, default=1,
+                           help="worker processes for estimate_batch "
+                                "fan-out through the sharded engine "
+                                "(default 1: in-process)")
+    serve_cmd.add_argument("--cache-cap", type=int,
+                           default=DEFAULT_RESPONSE_CACHE_CAP,
+                           help="response cache entry cap (default "
+                                f"{DEFAULT_RESPONSE_CACHE_CAP})")
+    serve_cmd.set_defaults(func=_cmd_serve)
 
     generate = sub.add_parser("generate", help="generate a synthetic corpus")
     generate.add_argument("--recipes", type=int, default=10)

@@ -205,10 +205,7 @@ class ShardedCorpusEstimator:
             for recipe in self._stream(source)
             for text in recipe.ingredient_texts
         )
-        if self._workers == 1:
-            estimates = self._run_local(counts)
-        else:
-            estimates = self._run_pool(counts)
+        estimates = self.estimate_table(counts)
         finish = NutritionEstimator.finish_recipe
         for recipe in self._stream(source):
             yield finish(
@@ -218,6 +215,23 @@ class ShardedCorpusEstimator:
 
     # ------------------------------------------------------------------
     # execution backends
+
+    def estimate_table(
+        self, counts: dict[str, int]
+    ) -> dict[str, IngredientEstimate]:
+        """Run the two-phase protocol over a distinct-line table.
+
+        ``text -> final estimate`` for every key of *counts* (values
+        are occurrence counts, which weight the unit statistics).  The
+        building block under :meth:`iter_corpus_estimates`, exposed
+        for callers that already hold a distinct-line table — the HTTP
+        service's batch endpoint assembles its own recipes from this.
+        Dispatches to the in-process estimator at ``workers=1`` and to
+        the pool otherwise; results are bit-identical either way.
+        """
+        if self._workers == 1:
+            return self._run_local(counts)
+        return self._run_pool(counts)
 
     def _run_local(self, counts: dict[str, int]) -> dict[str, IngredientEstimate]:
         return self._local_estimator().corpus_estimate_table(counts)

@@ -1,0 +1,55 @@
+"""Long-lived HTTP service over the estimation pipeline.
+
+PRs 1–2 made estimation fast but batch-only: every invocation paid
+full cold start (USDA load, index build, cache warm-up).  This
+subpackage turns the pipeline into an always-on JSON API — the shape
+downstream consumers (recipe recommenders, calorie-prediction
+datasets) assume — with zero third-party dependencies: the server is
+stdlib ``http.server``, threaded, fronted by a warm shared
+:class:`~repro.core.estimator.NutritionEstimator`.
+
+Endpoints (full schemas in ``docs/api.md``)::
+
+    POST /v1/estimate        one recipe -> nutritional profile
+    POST /v1/estimate_batch  many recipes as one corpus (sharded
+                             engine fan-out with workers > 1)
+    POST /v1/match           closest-description lookup
+    POST /v1/parse           NER entity extraction
+    GET  /healthz            liveness
+    GET  /metrics            per-endpoint counters + latency percentiles
+
+Modules:
+
+* :mod:`repro.service.state`    — :class:`ServiceConfig`,
+  :class:`ServiceState`: the warm estimator, response cache, locks,
+* :mod:`repro.service.codec`    — request validation/normalization and
+  response encoding,
+* :mod:`repro.service.handlers` — route table + dispatch (caching,
+  metrics, typed errors),
+* :mod:`repro.service.server`   — :class:`NutritionService` and the
+  blocking :func:`serve` entry point (graceful shutdown),
+* :mod:`repro.service.metrics`  — the ``/metrics`` registry,
+* :mod:`repro.service.errors`   — the typed error hierarchy.
+
+Quickstart::
+
+    from repro.service import NutritionService, ServiceConfig
+
+    with NutritionService(ServiceConfig(port=0)) as service:
+        ...  # POST JSON to service.url + "/v1/estimate"
+
+or from the command line: ``python -m repro serve --port 8080``.
+"""
+
+from repro.service.errors import ServiceError, ValidationError
+from repro.service.server import NutritionService, serve
+from repro.service.state import ServiceConfig, ServiceState
+
+__all__ = [
+    "NutritionService",
+    "ServiceConfig",
+    "ServiceState",
+    "ServiceError",
+    "ValidationError",
+    "serve",
+]

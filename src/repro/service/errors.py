@@ -1,0 +1,90 @@
+"""Typed error responses for the HTTP service.
+
+Every failure a client can cause maps to one :class:`ServiceError`
+subclass carrying an HTTP status, a stable machine-readable ``code``
+and a human-readable message.  The server serializes them uniformly::
+
+    {"error": {"code": "invalid_request", "message": "...",
+               "field": "recipes[3].servings"}}
+
+so clients can branch on ``code`` (and ``field`` for validation
+errors) without parsing prose.  Unexpected exceptions never leak
+tracebacks: the server wraps them in a generic ``internal_error``.
+"""
+
+from __future__ import annotations
+
+
+class ServiceError(Exception):
+    """Base class for all typed service failures."""
+
+    status: int = 500
+    code: str = "internal_error"
+
+    def __init__(self, message: str, *, field: str | None = None):
+        super().__init__(message)
+        self.message = message
+        self.field = field
+
+    def to_body(self) -> dict:
+        """The JSON error envelope for this failure."""
+        error: dict = {"code": self.code, "message": self.message}
+        if self.field is not None:
+            error["field"] = self.field
+        return {"error": error}
+
+
+class ValidationError(ServiceError):
+    """Request payload failed schema validation (HTTP 400).
+
+    ``field`` names the offending location in the payload using
+    bracketed path syntax, e.g. ``recipes[3].ingredients[0]``.
+    """
+
+    status = 400
+    code = "invalid_request"
+
+
+class InvalidJSONError(ServiceError):
+    """Request body is not valid JSON (HTTP 400)."""
+
+    status = 400
+    code = "invalid_json"
+
+
+class NotFoundError(ServiceError):
+    """No such endpoint path (HTTP 404)."""
+
+    status = 404
+    code = "not_found"
+
+
+class MethodNotAllowedError(ServiceError):
+    """Endpoint exists but not for this HTTP method (HTTP 405)."""
+
+    status = 405
+    code = "method_not_allowed"
+
+    def __init__(self, message: str, *, allowed: tuple[str, ...] = ()):
+        super().__init__(message)
+        self.allowed = allowed
+
+    def to_body(self) -> dict:
+        body = super().to_body()
+        if self.allowed:
+            body["error"]["allowed"] = list(self.allowed)
+        return body
+
+
+class PayloadTooLargeError(ServiceError):
+    """Request body exceeds the configured size cap (HTTP 413)."""
+
+    status = 413
+    code = "payload_too_large"
+
+
+class InternalError(ServiceError):
+    """Catch-all for unexpected server-side failures (HTTP 500)."""
+
+    status = 500
+    code = "internal_error"

@@ -1,0 +1,151 @@
+"""Endpoint routing and the request dispatch path.
+
+One table (:data:`ENDPOINTS`) declares everything per endpoint —
+method, validator, state method, cacheability — and :func:`dispatch`
+wraps it with everything common to every request: method checking,
+payload validation, response caching, metrics, and the typed-error
+contract (any :class:`ServiceError` becomes its JSON envelope;
+anything else becomes a generic 500 so tracebacks never leak to
+clients).
+
+Cacheable endpoints (the four ``POST /v1/*`` ones) are looked up in /
+stored to the response cache as **serialized bytes**: a hit skips
+validation-to-encoding entirely and the server writes the bytes
+straight to the socket.  ``/healthz`` and ``/metrics`` are never
+cached.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.service import codec
+from repro.service.errors import (
+    InternalError,
+    MethodNotAllowedError,
+    NotFoundError,
+    ServiceError,
+)
+from repro.service.state import ServiceState
+
+log = logging.getLogger("repro.service")
+
+
+@dataclass(frozen=True, slots=True)
+class Response:
+    """What the HTTP layer writes back."""
+
+    status: int
+    body: bytes
+    cache_hit: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class Endpoint:
+    """Declarative spec for one (method, path) route.
+
+    ``validate`` turns the decoded JSON payload into a request object
+    (``None`` for bodyless GET endpoints, whose ``invoke`` receives
+    the raw payload); ``invoke`` calls the matching
+    :class:`ServiceState` method.  ``cacheable`` routes additionally
+    get normalized-payload response caching in :func:`dispatch`.
+    """
+
+    validate: Callable | None
+    invoke: Callable[[ServiceState, object], dict]
+    cacheable: bool = False
+
+
+#: The single routing table: (method, path) -> endpoint spec.
+ENDPOINTS: dict[tuple[str, str], Endpoint] = {
+    ("GET", "/healthz"): Endpoint(
+        validate=None, invoke=lambda state, _payload: state.healthz()
+    ),
+    ("GET", "/metrics"): Endpoint(
+        validate=None,
+        invoke=lambda state, _payload: state.metrics_snapshot(),
+    ),
+    ("POST", "/v1/estimate"): Endpoint(
+        validate=codec.validate_estimate,
+        invoke=lambda state, request: state.estimate(request),
+        cacheable=True,
+    ),
+    ("POST", "/v1/estimate_batch"): Endpoint(
+        validate=codec.validate_batch,
+        invoke=lambda state, request: state.estimate_batch(request),
+        cacheable=True,
+    ),
+    ("POST", "/v1/match"): Endpoint(
+        validate=codec.validate_match,
+        invoke=lambda state, request: state.match(request),
+        cacheable=True,
+    ),
+    ("POST", "/v1/parse"): Endpoint(
+        validate=codec.validate_parse,
+        invoke=lambda state, request: state.parse(request),
+        cacheable=True,
+    ),
+}
+
+_KNOWN_PATHS = frozenset(path for _, path in ENDPOINTS)
+
+
+def _route(method: str, path: str) -> Endpoint:
+    endpoint = ENDPOINTS.get((method, path))
+    if endpoint is not None:
+        return endpoint
+    if path in _KNOWN_PATHS:
+        allowed = tuple(sorted(m for m, p in ENDPOINTS if p == path))
+        raise MethodNotAllowedError(
+            f"{path} does not support {method}", allowed=allowed
+        )
+    raise NotFoundError(f"no such endpoint: {path}")
+
+
+def dispatch(state: ServiceState, method: str, path: str, payload) -> Response:
+    """Handle one decoded request end to end.
+
+    Never raises: every outcome — success, typed client error,
+    unexpected server fault — returns a :class:`Response`, and every
+    outcome is recorded in the metrics registry under its endpoint
+    path (unknown paths aggregate under ``(unknown)`` so a scanner
+    cannot grow the registry without bound).
+    """
+    metric_name = path if path in _KNOWN_PATHS else "(unknown)"
+    started = time.perf_counter()
+    try:
+        endpoint = _route(method, path)
+        request = (
+            payload if endpoint.validate is None else endpoint.validate(payload)
+        )
+        key: str | None = None
+        if endpoint.cacheable:
+            # The key is built from the *normalized* request, so
+            # byte-different but equivalent payloads share one entry.
+            key = codec.cache_key(path, request)
+            cached = state.cached_response(key)
+            if cached is not None:
+                state.metrics.observe(
+                    metric_name, time.perf_counter() - started, cache_hit=True
+                )
+                return Response(200, cached, cache_hit=True)
+        body = codec.dumps_body(endpoint.invoke(state, request))
+        if key is not None:
+            state.store_response(key, body)
+        state.metrics.observe(metric_name, time.perf_counter() - started)
+        return Response(200, body)
+    except ServiceError as exc:
+        state.metrics.observe(
+            metric_name, time.perf_counter() - started, error=True
+        )
+        return Response(exc.status, codec.dumps_body(exc.to_body()))
+    except Exception:
+        log.exception("unhandled error in %s %s", method, path)
+        state.metrics.observe(
+            metric_name, time.perf_counter() - started, error=True
+        )
+        fallback = InternalError("internal server error")
+        return Response(fallback.status, codec.dumps_body(fallback.to_body()))

@@ -1,0 +1,113 @@
+"""Per-endpoint request metrics for ``/metrics``.
+
+Counters plus a bounded latency reservoir per endpoint, guarded by one
+lock (observations are a few dict/deque operations, far cheaper than
+the requests they describe).  ``snapshot()`` renders the JSON document
+``/metrics`` returns; the field layout is documented in
+``docs/api.md`` and asserted by the service tests, so treat it as a
+public schema.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+#: Latency samples kept per endpoint.  Percentiles describe the recent
+#: window, not service lifetime, so a long-running instance reflects
+#: current behaviour; 1024 samples bound memory regardless of uptime.
+RESERVOIR_SIZE = 1024
+
+
+def percentile(sorted_samples: list[float], fraction: float) -> float:
+    """Nearest-rank percentile over an already-sorted sample list."""
+    if not sorted_samples:
+        return 0.0
+    rank = max(0, min(len(sorted_samples) - 1,
+                      round(fraction * (len(sorted_samples) - 1))))
+    return sorted_samples[rank]
+
+
+class _EndpointMetrics:
+    """Counters and latency reservoir for one endpoint."""
+
+    __slots__ = ("requests", "errors", "cache_hits", "latencies")
+
+    def __init__(self) -> None:
+        self.requests = 0
+        self.errors = 0
+        self.cache_hits = 0
+        self.latencies: deque[float] = deque(maxlen=RESERVOIR_SIZE)
+
+    def snapshot(self) -> dict:
+        samples = sorted(self.latencies)
+        return {
+            "requests": self.requests,
+            "errors": self.errors,
+            "cache_hits": self.cache_hits,
+            "cache_hit_rate": (
+                self.cache_hits / self.requests if self.requests else 0.0
+            ),
+            "latency_ms": {
+                "count": len(samples),
+                "p50": round(percentile(samples, 0.50), 3),
+                "p95": round(percentile(samples, 0.95), 3),
+                "p99": round(percentile(samples, 0.99), 3),
+                "max": round(samples[-1], 3) if samples else 0.0,
+            },
+        }
+
+
+class ServiceMetrics:
+    """Thread-safe metrics registry for the whole service."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._started_monotonic = time.monotonic()
+        self._endpoints: dict[str, _EndpointMetrics] = {}
+
+    def observe(
+        self,
+        endpoint: str,
+        latency_s: float,
+        *,
+        error: bool = False,
+        cache_hit: bool = False,
+    ) -> None:
+        """Record one handled request for *endpoint*."""
+        with self._lock:
+            metrics = self._endpoints.get(endpoint)
+            if metrics is None:
+                metrics = self._endpoints[endpoint] = _EndpointMetrics()
+            metrics.requests += 1
+            if error:
+                metrics.errors += 1
+            if cache_hit:
+                metrics.cache_hits += 1
+            metrics.latencies.append(latency_s * 1000.0)
+
+    @property
+    def uptime_s(self) -> float:
+        return time.monotonic() - self._started_monotonic
+
+    def total_requests(self) -> int:
+        with self._lock:
+            return sum(m.requests for m in self._endpoints.values())
+
+    def snapshot(self) -> dict:
+        """The ``/metrics`` response body (see docs/api.md)."""
+        with self._lock:
+            endpoints = {
+                name: metrics.snapshot()
+                for name, metrics in sorted(self._endpoints.items())
+            }
+        return {
+            "uptime_s": round(self.uptime_s, 3),
+            "requests_total": sum(e["requests"] for e in endpoints.values()),
+            "errors_total": sum(e["errors"] for e in endpoints.values()),
+            "cache_hits_total": sum(
+                e["cache_hits"] for e in endpoints.values()
+            ),
+            "endpoints": endpoints,
+        }

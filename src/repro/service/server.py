@@ -1,0 +1,218 @@
+"""The HTTP server: stdlib ``ThreadingHTTPServer``, zero dependencies.
+
+:class:`NutritionService` owns the socket, the handler threads and the
+shared :class:`ServiceState`.  It runs either blocking
+(:meth:`serve_forever`, used by ``repro serve``) or on a background
+thread (:meth:`start`, used by the integration tests, the benchmark
+and ``examples/serve_client.py``), and works as a context manager
+that guarantees shutdown::
+
+    with NutritionService(ServiceConfig(port=0)) as service:
+        url = f"http://{service.host}:{service.port}/healthz"
+
+``serve()`` is the CLI entry point: it installs SIGINT/SIGTERM
+handlers that trigger a graceful stop — in-flight requests finish,
+the socket closes, and the process exits 0.
+
+The HTTP layer speaks HTTP/1.1 with explicit ``Content-Length`` on
+every response, so clients can keep connections alive (the benchmark
+drives thousands of requests over one connection).
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import signal
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro import __version__
+from repro.service.errors import (
+    InvalidJSONError,
+    PayloadTooLargeError,
+    ServiceError,
+    ValidationError,
+)
+from repro.service.handlers import dispatch
+from repro.service.state import ServiceConfig, ServiceState
+
+log = logging.getLogger("repro.service")
+
+
+class _RequestHandler(BaseHTTPRequestHandler):
+    """Per-connection handler; all logic lives in ``handlers.dispatch``."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = f"repro-serve/{__version__}"
+    # Buffer the response stream so status line, headers and body
+    # leave in ONE socket send (handle_one_request flushes after each
+    # request).  Unbuffered (the stdlib default) the body goes out as
+    # a second TCP segment, and Nagle + delayed ACK stall every
+    # keep-alive response ~40 ms.  Nagle is disabled as well so a
+    # response larger than the buffer cannot reintroduce the stall.
+    wbufsize = 64 * 1024
+    disable_nagle_algorithm = True
+
+    # Set by NutritionService on the handler subclass it creates.
+    state: ServiceState
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        self._handle("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._handle("POST")
+
+    def _handle(self, method: str) -> None:
+        try:
+            payload = self._read_payload()
+        except ServiceError as exc:
+            self._write(exc.status, json.dumps(exc.to_body()).encode())
+            return
+        response = dispatch(self.state, method, self.path, payload)
+        self._write(response.status, response.body, response.cache_hit)
+
+    def _read_payload(self):
+        """Decode the request body (``None`` for bodyless requests)."""
+        raw_length = self.headers.get("Content-Length") or "0"
+        try:
+            length = int(raw_length)
+        except ValueError:
+            length = -1
+        if length < 0:
+            # Non-numeric or negative: reject before touching rfile —
+            # int() must not escape as a 500, and rfile.read(-1) would
+            # block the handler thread until client EOF.
+            self.close_connection = True
+            raise ValidationError(
+                f"invalid Content-Length header: {raw_length!r}",
+                field="Content-Length",
+            )
+        if length > self.state.config.max_body_bytes:
+            # Read nothing; close after responding so the unread body
+            # cannot desynchronize the connection.
+            self.close_connection = True
+            raise PayloadTooLargeError(
+                f"request body of {length} bytes exceeds the "
+                f"{self.state.config.max_body_bytes} byte limit"
+            )
+        if length == 0:
+            return None
+        raw = self.rfile.read(length)
+        try:
+            return json.loads(raw)
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise InvalidJSONError(f"request body is not valid JSON: {exc}")
+
+    def _write(self, status: int, body: bytes, cache_hit: bool = False) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if cache_hit:
+            self.send_header("X-Cache", "hit")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        # Route access logs through logging instead of bare stderr so
+        # embedding applications (and the tests) control verbosity.
+        log.debug("%s - %s", self.address_string(), format % args)
+
+
+class NutritionService:
+    """A ready-to-serve nutrition estimation service."""
+
+    def __init__(self, config: ServiceConfig | None = None):
+        self.config = config or ServiceConfig()
+        self.state = ServiceState(self.config)
+
+        # Subclass per service instance so concurrent services (tests)
+        # each bind their own state.
+        handler = type(
+            "_BoundRequestHandler", (_RequestHandler,), {"state": self.state}
+        )
+        self._server = ThreadingHTTPServer(
+            (self.config.host, self.config.port), handler
+        )
+        self._server.daemon_threads = True
+        self._thread: threading.Thread | None = None
+
+    @property
+    def host(self) -> str:
+        return self._server.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """The actually-bound port (useful with ``port=0``)."""
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until :meth:`shutdown`."""
+        self._server.serve_forever(poll_interval=0.1)
+
+    def start(self) -> "NutritionService":
+        """Serve on a daemon background thread; returns self."""
+        if self._thread is not None:
+            raise RuntimeError("service already started")
+        self._thread = threading.Thread(
+            target=self.serve_forever, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def shutdown(self) -> None:
+        """Graceful stop: finish in-flight requests, close the socket."""
+        self._server.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._server.server_close()
+
+    def __enter__(self) -> "NutritionService":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+
+def serve(config: ServiceConfig | None = None) -> int:
+    """Blocking CLI entry point with graceful signal shutdown.
+
+    Runs the server on a background thread and parks the main thread
+    on an event, because ``HTTPServer.shutdown`` deadlocks when called
+    from the thread running ``serve_forever`` — and Python delivers
+    signals to the main thread.
+    """
+    service = NutritionService(config)
+    stop = threading.Event()
+
+    def _request_stop(signum, _frame) -> None:
+        log.info("received signal %d, shutting down", signum)
+        stop.set()
+
+    previous = {
+        sig: signal.signal(sig, _request_stop)
+        for sig in (signal.SIGINT, signal.SIGTERM)
+    }
+    try:
+        service.start()
+        print(
+            f"repro serve listening on {service.url} "
+            f"(workers={service.config.workers}, "
+            f"cache_cap={service.config.cache_cap})",
+            flush=True,
+        )
+        stop.wait()
+    finally:
+        service.shutdown()
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+    print("repro serve stopped", flush=True)
+    return 0

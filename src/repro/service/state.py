@@ -1,0 +1,269 @@
+"""Long-lived service state: warm estimator, response cache, metrics.
+
+One :class:`ServiceState` lives for the whole service process.  It
+pays the pipeline's cold start exactly once — USDA database load,
+description preprocessing, inverted-index build — by constructing a
+single shared :class:`NutritionEstimator` from an
+:class:`EstimatorSpec` at startup, then serves every request from
+that warm instance.
+
+Request semantics are the **two-phase corpus protocol** (see
+``docs/architecture.md``): each request is treated as a self-contained
+corpus, so responses depend only on the request payload — never on
+request ordering or service history.  That determinism is what makes
+response caching sound: a :class:`BoundedCache` maps normalized
+request payloads to serialized response bytes, and a hit skips the
+pipeline entirely.
+
+Estimation runs under one lock.  The pipeline is pure Python and
+CPU-bound, so the GIL serializes the work anyway; the lock just keeps
+the estimator's internal memo caches and fallback table coherent
+under ``ThreadingHTTPServer``'s thread-per-connection model.  Cache
+hits and ``/healthz``/``/metrics`` never take it.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro import __version__
+from repro.core.estimator import NutritionEstimator
+from repro.pipeline.engine import ShardedCorpusEstimator
+from repro.pipeline.spec import EstimatorSpec
+from repro.service import codec
+from repro.service.metrics import ServiceMetrics
+from repro.utils import BoundedCache
+
+#: Default entry cap for the response cache.
+DEFAULT_RESPONSE_CACHE_CAP = 4096
+
+#: Bodies larger than this are never cached.  Single-recipe responses
+#: are a few KB, but batch responses reach MBs (5000 recipes are
+#: allowed per request) — an entry-count cap alone would let the cache
+#: grow to gigabytes.  Together the two caps bound cache memory at
+#: ``cache_cap * MAX_CACHEABLE_BODY_BYTES`` ≈ 1 GB worst case, and in
+#: practice tens of MB (huge cacheable bodies are rare: a repeated
+#: giant batch re-estimates instead, which is the cheap case anyway
+#: once the estimator memos are warm).
+MAX_CACHEABLE_BODY_BYTES = 256 * 1024
+
+#: Below this many distinct ingredient lines a batch request runs on
+#: the in-process estimator even when ``workers > 1`` — process-pool
+#: start-up costs more than estimating a small table.
+ENGINE_MIN_DISTINCT_LINES = 256
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Everything ``repro serve`` needs to stand up a service.
+
+    Attributes
+    ----------
+    host / port:
+        Bind address.  ``port=0`` asks the OS for a free port (the
+        integration tests and in-process examples use this).
+    workers:
+        Worker processes for ``/v1/estimate_batch`` fan-out through
+        the sharded corpus engine.  ``1`` (default) runs every request
+        on the in-process estimator.
+    cache_cap:
+        Entry cap for the response cache (FIFO eviction).
+    spec:
+        The estimator configuration the service builds once at
+        startup; picklable, so the same spec also parameterizes the
+        engine's worker processes.
+    max_body_bytes:
+        Request bodies above this size are rejected with HTTP 413.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8080
+    workers: int = 1
+    cache_cap: int = DEFAULT_RESPONSE_CACHE_CAP
+    spec: EstimatorSpec = field(default_factory=EstimatorSpec)
+    max_body_bytes: int = 1 << 20
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1: {self.workers}")
+        if self.cache_cap < 1:
+            raise ValueError(f"cache_cap must be >= 1: {self.cache_cap}")
+        if not 0 <= self.port <= 65535:
+            raise ValueError(f"port out of range: {self.port}")
+        if self.max_body_bytes < 1:
+            raise ValueError(
+                f"max_body_bytes must be >= 1: {self.max_body_bytes}"
+            )
+
+
+class ServiceState:
+    """Shared state behind every endpoint handler."""
+
+    def __init__(self, config: ServiceConfig):
+        self.config = config
+        self.metrics = ServiceMetrics()
+        # The warm shared estimator — the service's whole reason to
+        # exist.  Built eagerly so the first request is already fast.
+        self._estimator = config.spec.build()
+        self._engine: ShardedCorpusEstimator | None = (
+            ShardedCorpusEstimator(config.spec, workers=config.workers)
+            if config.workers > 1
+            else None
+        )
+        self._estimator_lock = threading.Lock()
+        # Separate lock for engine fan-out: the pool never touches the
+        # shared estimator, so a large batch must not stall concurrent
+        # estimate/match/parse traffic behind it.
+        self._engine_lock = threading.Lock()
+        self._cache_lock = threading.Lock()
+        self._response_cache: BoundedCache[str, bytes] = BoundedCache(
+            config.cache_cap
+        )
+
+    @property
+    def estimator(self) -> NutritionEstimator:
+        """The warm shared estimator (tests and examples peek at it)."""
+        return self._estimator
+
+    # ------------------------------------------------------------------
+    # response cache
+
+    def cached_response(self, key: str) -> bytes | None:
+        with self._cache_lock:
+            return self._response_cache.get(key)
+
+    def store_response(self, key: str, body: bytes) -> None:
+        if len(body) > MAX_CACHEABLE_BODY_BYTES:
+            return
+        with self._cache_lock:
+            self._response_cache[key] = body
+
+    def cache_info(self) -> dict:
+        with self._cache_lock:
+            return {
+                "size": len(self._response_cache),
+                "cap": self._response_cache.cap,
+            }
+
+    # ------------------------------------------------------------------
+    # estimation endpoints
+
+    def _estimate_table(self, counts: dict[str, int]) -> dict:
+        """Distinct-line table -> final estimates, engine or in-process.
+
+        Both paths run the identical two-phase corpus protocol, so the
+        choice is invisible in the response (the engine's exact-parity
+        guarantee).  The engine path spins a process pool per request
+        — each worker rebuilds its estimator from the spec — so it
+        only engages past ``ENGINE_MIN_DISTINCT_LINES``, where the
+        fan-out amortizes the start-up; it runs under its own lock so
+        a large batch never stalls single-recipe traffic.
+        """
+        if (
+            self._engine is not None
+            and len(counts) >= ENGINE_MIN_DISTINCT_LINES
+        ):
+            with self._engine_lock:
+                return self._engine.estimate_table(counts)
+        with self._estimator_lock:
+            return self._estimator.corpus_estimate_table(counts)
+
+    def estimate(self, request: codec.EstimateRequest) -> dict:
+        """``/v1/estimate``: one recipe, always on the warm estimator."""
+        counts = dict(Counter(request.ingredients))
+        with self._estimator_lock:
+            table = self._estimator.corpus_estimate_table(counts)
+        recipe = NutritionEstimator.finish_recipe(
+            [table[text] for text in request.ingredients], request.servings
+        )
+        return codec.encode_recipe_estimate(recipe)
+
+    def estimate_batch(self, request: codec.BatchRequest) -> dict:
+        """``/v1/estimate_batch``: many recipes as one corpus.
+
+        Corpus-level unit statistics (§II-C) are computed over the
+        whole batch — exactly ``NutritionEstimator.estimate_corpus``
+        over the same recipes.  With ``workers > 1`` and enough
+        distinct lines the table fans out through the sharded engine
+        (wire codec and all); results are bit-identical either way.
+        """
+        counts = dict(
+            Counter(
+                text
+                for recipe in request.recipes
+                for text in recipe.ingredients
+            )
+        )
+        table = self._estimate_table(counts)
+        finish = NutritionEstimator.finish_recipe
+        return {
+            "count": len(request.recipes),
+            "recipes": [
+                codec.encode_recipe_estimate(
+                    finish(
+                        [table[text] for text in recipe.ingredients],
+                        recipe.servings,
+                    )
+                )
+                for recipe in request.recipes
+            ],
+        }
+
+    def match(self, request: codec.MatchRequest) -> dict:
+        """``/v1/match``: closest USDA-SR description for a name."""
+        with self._estimator_lock:
+            matcher = self._estimator.matcher
+            best = matcher.match(
+                request.name,
+                request.state,
+                request.temperature,
+                request.dry_fresh,
+            )
+            candidates = None
+            if request.top > 0:
+                candidates = matcher.top_matches(
+                    request.name,
+                    request.state,
+                    request.temperature,
+                    request.dry_fresh,
+                    k=request.top,
+                )
+        body: dict = {
+            "query": {
+                "name": request.name,
+                "state": request.state,
+                "temperature": request.temperature,
+                "dry_fresh": request.dry_fresh,
+            },
+            "match": None if best is None else codec.encode_match(best),
+        }
+        if candidates is not None:
+            body["candidates"] = [codec.encode_match(c) for c in candidates]
+        return body
+
+    def parse(self, request: codec.ParseRequest) -> dict:
+        """``/v1/parse``: NER entity extraction for one phrase."""
+        with self._estimator_lock:
+            parsed = self._estimator.parse(request.text)
+        return codec.encode_parsed(parsed)
+
+    # ------------------------------------------------------------------
+    # introspection endpoints
+
+    def healthz(self) -> dict:
+        """Liveness: cheap, lock-free, always 200 once serving."""
+        return {
+            "status": "ok",
+            "version": __version__,
+            "uptime_s": round(self.metrics.uptime_s, 3),
+            "workers": self.config.workers,
+            "requests_total": self.metrics.total_requests(),
+        }
+
+    def metrics_snapshot(self) -> dict:
+        body = self.metrics.snapshot()
+        body["response_cache"] = self.cache_info()
+        body["workers"] = self.config.workers
+        return body

@@ -170,3 +170,51 @@ class TestBatch:
         capsys.readouterr()
         assert main(["batch", str(path), "--workers", "0"]) == 2
         assert "--workers must be >= 1" in capsys.readouterr().out
+
+
+class TestServe:
+    def test_serve_wires_config_through(self, monkeypatch):
+        import repro.cli as cli
+
+        captured = {}
+
+        def fake_serve(config):
+            captured["config"] = config
+            return 0
+
+        monkeypatch.setattr(cli, "serve", fake_serve)
+        code = main(["serve", "--port", "0", "--workers", "2",
+                     "--cache-cap", "128", "--host", "0.0.0.0"])
+        assert code == 0
+        config = captured["config"]
+        assert config.host == "0.0.0.0"
+        assert config.port == 0
+        assert config.workers == 2
+        assert config.cache_cap == 128
+
+    def test_serve_defaults(self, monkeypatch):
+        import repro.cli as cli
+        from repro.service.state import DEFAULT_RESPONSE_CACHE_CAP
+
+        captured = {}
+        monkeypatch.setattr(
+            cli, "serve", lambda config: captured.setdefault("c", config) and 0
+        )
+        main(["serve"])
+        config = captured["c"]
+        assert (config.host, config.port, config.workers) == (
+            "127.0.0.1", 8080, 1)
+        assert config.cache_cap == DEFAULT_RESPONSE_CACHE_CAP
+
+    def test_serve_rejects_bad_workers(self, capsys):
+        assert main(["serve", "--workers", "0"]) == 2
+        assert "workers must be >= 1" in capsys.readouterr().out
+
+    def test_help_epilog_mentions_new_subcommands(self, capsys):
+        import pytest as _pytest
+
+        with _pytest.raises(SystemExit):
+            main(["--help"])
+        out = capsys.readouterr().out
+        assert "serve" in out
+        assert "batch corpus.jsonl --workers 4 --jsonl" in out

@@ -1,0 +1,68 @@
+"""Documentation guardrails: required docs exist, intra-repo links resolve.
+
+Runs the same check as ``tools/check_docs.py`` (and the CI docs job)
+inside the tier-1 suite, so a renamed doc or a typoed relative link
+fails before it reaches CI.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _load_check_docs():
+    spec = importlib.util.spec_from_file_location(
+        "check_docs", REPO_ROOT / "tools" / "check_docs.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("check_docs", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+check_docs = _load_check_docs()
+
+
+def test_required_documentation_exists():
+    for relative in (
+        "README.md",
+        "docs/architecture.md",
+        "docs/api.md",
+        "docs/performance.md",
+        "CHANGES.md",
+        "ROADMAP.md",
+    ):
+        assert (REPO_ROOT / relative).is_file(), f"missing {relative}"
+
+
+def test_markdown_files_discovered():
+    files = {p.name for p in check_docs.markdown_files(REPO_ROOT)}
+    assert {"README.md", "architecture.md", "api.md"} <= files
+
+
+def test_no_broken_intra_repo_links():
+    problems = check_docs.broken_links(REPO_ROOT)
+    assert not problems, "\n".join(problems)
+
+
+def test_link_extraction_handles_anchors_and_externals(tmp_path):
+    (tmp_path / "real.md").write_text("target\n", encoding="utf-8")
+    (tmp_path / "doc.md").write_text(
+        "[ok](real.md) [anchored](real.md#section) [page](#local)\n"
+        "[ext](https://example.com/x.md) [bad](missing.md)\n",
+        encoding="utf-8",
+    )
+    problems = check_docs.broken_links(tmp_path)
+    assert len(problems) == 1
+    assert "missing.md" in problems[0]
+
+
+def test_readme_links_into_docs():
+    text = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+    for target in ("docs/architecture.md", "docs/api.md",
+                   "docs/performance.md"):
+        assert target in text, f"README.md does not link {target}"

@@ -1,0 +1,84 @@
+"""Smoke tests: every example under ``examples/`` stays runnable.
+
+Each example runs as a real subprocess (fresh interpreter, only
+``PYTHONPATH=src``) so import errors, API drift and crashed servers
+all fail loudly.  ``train_ner.py`` trains a perceptron for ~30 s, so
+by default it is only compile-checked; set ``REPRO_RUN_SLOW_EXAMPLES=1``
+to execute it too.
+"""
+
+from __future__ import annotations
+
+import os
+import py_compile
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+EXAMPLES_DIR = REPO_ROOT / "examples"
+RUN_SLOW = os.environ.get("REPRO_RUN_SLOW_EXAMPLES", "") == "1"
+
+#: example -> substring its stdout must contain.
+EXPECTED_OUTPUT = {
+    "quickstart.py": "Per-serving profile",
+    "custom_database.py": "",
+    "dietary_analytics.py": "",
+    "recipe_recommendation.py": "",
+    "serve_client.py": "service shut down cleanly",
+    "train_ner.py": "",
+}
+
+SLOW = frozenset({"train_ner.py"})
+
+
+def run_example(name: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+        cwd=REPO_ROOT,
+    )
+
+
+def all_examples() -> list[str]:
+    return sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_every_example_has_an_expectation():
+    """New examples must register here so they get smoke coverage."""
+    assert set(all_examples()) == set(EXPECTED_OUTPUT)
+
+
+@pytest.mark.parametrize("name", all_examples())
+def test_example_compiles(name):
+    py_compile.compile(str(EXAMPLES_DIR / name), doraise=True)
+
+
+@pytest.mark.parametrize(
+    "name", [n for n in all_examples() if RUN_SLOW or n not in SLOW]
+)
+def test_example_runs(name):
+    result = run_example(name)
+    assert result.returncode == 0, (
+        f"{name} exited {result.returncode}\n"
+        f"stdout:\n{result.stdout[-2000:]}\n"
+        f"stderr:\n{result.stderr[-2000:]}"
+    )
+    assert EXPECTED_OUTPUT[name] in result.stdout
+
+
+def test_serve_client_reports_cache_hit():
+    """The example demonstrates the response cache actually answering."""
+    result = run_example("serve_client.py")
+    assert result.returncode == 0
+    assert "X-Cache=hit" in result.stdout
+    assert "identical: True" in result.stdout

@@ -1,0 +1,237 @@
+"""Integration tests driving a live ``repro.service`` server.
+
+A real ``ThreadingHTTPServer`` is bound to an OS-assigned port and
+exercised over a socket with ``http.client`` — the same path external
+consumers take.  The headline assertion is the service parity
+guarantee: ``/v1/estimate`` answers with **byte-identical** profiles
+to the in-process estimator's corpus protocol for the same recipe,
+across a generated corpus (ISSUE 3 acceptance criterion).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+
+import pytest
+
+from repro import NutritionEstimator
+from repro.service import NutritionService, ServiceConfig
+
+
+@pytest.fixture(scope="module")
+def service():
+    with NutritionService(ServiceConfig(port=0, cache_cap=256)) as svc:
+        yield svc
+
+
+@pytest.fixture()
+def conn(service):
+    connection = http.client.HTTPConnection(
+        service.host, service.port, timeout=30
+    )
+    yield connection
+    connection.close()
+
+
+def call(conn, method: str, path: str, payload=None):
+    body = None if payload is None else json.dumps(payload)
+    conn.request(method, path, body)
+    response = conn.getresponse()
+    raw = response.read()
+    return response, json.loads(raw)
+
+
+class TestIntrospection:
+    def test_healthz(self, conn):
+        response, body = call(conn, "GET", "/healthz")
+        assert response.status == 200
+        assert response.getheader("Content-Type") == "application/json"
+        assert body["status"] == "ok"
+
+    def test_metrics_schema(self, conn, service):
+        call(conn, "POST", "/v1/parse", {"text": "1 tsp salt"})
+        response, body = call(conn, "GET", "/metrics")
+        assert response.status == 200
+        for key in ("uptime_s", "requests_total", "errors_total",
+                    "cache_hits_total", "endpoints", "response_cache"):
+            assert key in body
+        endpoint = body["endpoints"]["/v1/parse"]
+        for key in ("requests", "errors", "cache_hits", "cache_hit_rate",
+                    "latency_ms"):
+            assert key in endpoint
+        for key in ("count", "p50", "p95", "p99", "max"):
+            assert key in endpoint["latency_ms"]
+
+
+class TestEstimateParity:
+    """The acceptance criterion: live server == in-process estimator."""
+
+    def test_estimate_parity_over_generated_corpus(self, conn, small_corpus):
+        reference = NutritionEstimator()
+        for recipe in small_corpus[:20]:
+            expected = reference.estimate_corpus([recipe])[0]
+            response, body = call(conn, "POST", "/v1/estimate", {
+                "ingredients": recipe.ingredient_texts,
+                "servings": recipe.servings,
+            })
+            assert response.status == 200
+            # Byte-identical floats: JSON round-trips via repr, so ==
+            # on the decoded values is bitwise equality.
+            assert body["per_serving"] == expected.per_serving.values
+            assert body["total"] == expected.total.values
+            assert body["fraction_fully_mapped"] == (
+                expected.fraction_fully_mapped
+            )
+            for encoded, ingredient in zip(
+                body["ingredients"], expected.ingredients
+            ):
+                assert encoded["status"] == ingredient.status
+                assert encoded["grams"] == ingredient.grams
+                assert encoded["profile"] == ingredient.profile.values
+
+    def test_batch_parity(self, conn, small_corpus):
+        recipes = small_corpus[:12]
+        expected = NutritionEstimator().estimate_corpus(list(recipes))
+        response, body = call(conn, "POST", "/v1/estimate_batch", {
+            "recipes": [
+                {"ingredients": r.ingredient_texts, "servings": r.servings}
+                for r in recipes
+            ],
+        })
+        assert response.status == 200
+        assert body["count"] == len(recipes)
+        for encoded, reference in zip(body["recipes"], expected):
+            assert encoded["per_serving"] == reference.per_serving.values
+
+    def test_cache_hit_is_flagged_and_identical(self, conn):
+        payload = {"ingredients": ["2 cups white sugar"], "servings": 2}
+        first_response, first = call(conn, "POST", "/v1/estimate", payload)
+        second_response, second = call(conn, "POST", "/v1/estimate", payload)
+        assert first_response.status == second_response.status == 200
+        assert second_response.getheader("X-Cache") == "hit"
+        assert first == second
+
+
+class TestMatchAndParse:
+    def test_match(self, conn):
+        response, body = call(conn, "POST", "/v1/match", {
+            "name": "red lentils", "top": 3,
+        })
+        assert response.status == 200
+        assert body["match"]["description"] == "Lentils, pink or red, raw"
+        assert body["match"]["ndb_no"]
+        assert len(body["candidates"]) <= 3
+
+    def test_match_unmatched(self, conn):
+        response, body = call(conn, "POST", "/v1/match", {
+            "name": "garam masala",
+        })
+        assert response.status == 200
+        assert body["match"] is None
+
+    def test_parse(self, conn):
+        response, body = call(conn, "POST", "/v1/parse", {
+            "text": "1 small onion , finely chopped",
+        })
+        assert response.status == 200
+        assert body["name"] == "onion"
+        assert body["tags"][0] == "QUANTITY"
+
+
+class TestErrorContract:
+    def test_invalid_json_400(self, conn):
+        conn.request("POST", "/v1/estimate", "this is not json")
+        response = conn.getresponse()
+        body = json.loads(response.read())
+        assert response.status == 400
+        assert body["error"]["code"] == "invalid_json"
+
+    def test_validation_error_400_names_field(self, conn):
+        response, body = call(conn, "POST", "/v1/estimate", {
+            "ingredients": [], "servings": 2,
+        })
+        assert response.status == 400
+        assert body["error"]["code"] == "invalid_request"
+        assert body["error"]["field"] == "ingredients"
+
+    def test_unknown_path_404(self, conn):
+        response, body = call(conn, "GET", "/v1/unknown")
+        assert response.status == 404
+        assert body["error"]["code"] == "not_found"
+
+    def test_wrong_method_405(self, conn):
+        response, body = call(conn, "GET", "/v1/estimate")
+        assert response.status == 405
+        assert body["error"]["code"] == "method_not_allowed"
+        assert body["error"]["allowed"] == ["POST"]
+
+    @pytest.mark.parametrize("bad_length", ["abc", "-1"])
+    def test_malformed_content_length_400(self, service, bad_length):
+        connection = http.client.HTTPConnection(
+            service.host, service.port, timeout=10
+        )
+        try:
+            connection.putrequest("POST", "/v1/parse")
+            connection.putheader("Content-Length", bad_length)
+            connection.endheaders()
+            response = connection.getresponse()
+            body = json.loads(response.read())
+            assert response.status == 400
+            assert body["error"]["code"] == "invalid_request"
+            assert body["error"]["field"] == "Content-Length"
+        finally:
+            connection.close()
+
+    def test_payload_too_large_413(self, service):
+        connection = http.client.HTTPConnection(
+            service.host, service.port, timeout=30
+        )
+        try:
+            connection.putrequest("POST", "/v1/estimate")
+            connection.putheader(
+                "Content-Length",
+                str(service.config.max_body_bytes + 1),
+            )
+            connection.endheaders()
+            response = connection.getresponse()
+            body = json.loads(response.read())
+            assert response.status == 413
+            assert body["error"]["code"] == "payload_too_large"
+        finally:
+            connection.close()
+
+
+class TestLifecycle:
+    def test_keep_alive_over_one_connection(self, conn):
+        for _ in range(3):
+            response, body = call(conn, "GET", "/healthz")
+            assert response.status == 200
+
+    def test_graceful_shutdown_and_port_reuse(self):
+        service = NutritionService(ServiceConfig(port=0)).start()
+        port = service.port
+        connection = http.client.HTTPConnection(
+            service.host, port, timeout=10
+        )
+        response, body = call(connection, "GET", "/healthz")
+        assert body["status"] == "ok"
+        connection.close()
+        service.shutdown()
+        with pytest.raises(OSError):
+            probe = http.client.HTTPConnection(
+                service.host, port, timeout=2
+            )
+            probe.request("GET", "/healthz")
+            probe.getresponse()
+
+    def test_workers_config_surfaces_in_healthz(self):
+        with NutritionService(
+            ServiceConfig(port=0, workers=2)
+        ) as service:
+            connection = http.client.HTTPConnection(
+                service.host, service.port, timeout=30
+            )
+            response, body = call(connection, "GET", "/healthz")
+            assert body["workers"] == 2
+            connection.close()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Check that intra-repo markdown links resolve to real files.
+
+Scans every tracked ``*.md`` file for inline markdown links and
+reference definitions, ignores external targets (``http(s)://``,
+``mailto:``) and pure in-page anchors (``#...``), resolves
+relative targets against the linking file's directory, and fails if a
+target (file or directory) does not exist.  Targets may carry an
+anchor suffix (``docs/api.md#errors``) — only the path part is
+checked.
+
+Exits 0 when every link resolves, 1 otherwise — run directly in CI::
+
+    python tools/check_docs.py
+
+Also importable: ``tests/test_docs.py`` runs the same check inside the
+tier-1 suite so broken links fail locally before CI.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Inline links/images: [text](target) / ![alt](target), plus
+#: reference definitions: [label]: target
+_INLINE_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_REF_DEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+
+_EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def markdown_files(root: Path = REPO_ROOT) -> list[Path]:
+    """All repo markdown files, skipping VCS/cache directories."""
+    skip_parts = {".git", "__pycache__", ".pytest_cache", "node_modules"}
+    return sorted(
+        path
+        for path in root.rglob("*.md")
+        if not skip_parts & set(path.relative_to(root).parts)
+    )
+
+
+def extract_targets(text: str) -> list[str]:
+    targets = _INLINE_LINK.findall(text)
+    targets.extend(_REF_DEF.findall(text))
+    return targets
+
+
+def broken_links(root: Path = REPO_ROOT) -> list[str]:
+    """``"file: target"`` for every intra-repo link that fails to resolve."""
+    problems: list[str] = []
+    for md_file in markdown_files(root):
+        text = md_file.read_text(encoding="utf-8")
+        for target in extract_targets(text):
+            if target.startswith(_EXTERNAL_PREFIXES) or target.startswith("#"):
+                continue
+            path_part = target.split("#", 1)[0]
+            if not path_part:
+                continue
+            resolved = (md_file.parent / path_part).resolve()
+            if not resolved.exists():
+                problems.append(
+                    f"{md_file.relative_to(root)}: broken link -> {target}"
+                )
+    return problems
+
+
+def main() -> int:
+    files = markdown_files()
+    problems = broken_links()
+    for problem in problems:
+        print(problem)
+    print(
+        f"checked {len(files)} markdown file(s): "
+        f"{len(problems)} broken link(s)"
+    )
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
