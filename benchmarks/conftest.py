@@ -3,6 +3,13 @@
 Expensive artifacts (corpus, estimates, trained tagger) are built once
 per session.  Every benchmark writes its reproduced table/figure to
 ``results/`` so the artifacts survive pytest's output capture.
+
+**Smoke quarantine:** the committed ``results/BENCH_*.json`` files are
+the per-revision source of truth quoted by ``docs/performance.md``.
+CI smoke runs (``REPRO_BENCH_SMOKE=1``) produce much smaller-scale
+numbers, so :func:`write_result` diverts them to ``results/smoke/``
+(git-ignored) — a smoke run can never overwrite a committed full-mode
+artifact (``tests/test_bench_smoke_guard.py``).
 """
 
 from __future__ import annotations
@@ -19,12 +26,22 @@ from repro.ner import AveragedPerceptronTagger
 N_RECIPES = int(os.environ.get("REPRO_BENCH_RECIPES", "1200"))
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+#: Subdirectory (under the results dir) that quarantines smoke output.
+SMOKE_SUBDIR = "smoke"
+
+
+def results_dir() -> Path:
+    """Where this run's artifacts belong (mode is read per call)."""
+    if os.environ.get("REPRO_BENCH_SMOKE", "") == "1":
+        return RESULTS_DIR / SMOKE_SUBDIR
+    return RESULTS_DIR
 
 
 def write_result(name: str, content: str) -> Path:
-    """Persist a reproduced artifact under results/."""
-    RESULTS_DIR.mkdir(exist_ok=True)
-    path = RESULTS_DIR / name
+    """Persist a reproduced artifact under the mode's results dir."""
+    directory = results_dir()
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / name
     path.write_text(content + "\n", encoding="utf-8")
     return path
 

@@ -7,11 +7,14 @@ database, an NER subsystem (CRF + averaged perceptron), the modified-
 Jaccard description matcher, the unit-matching machinery, and a
 RecipeDB-style corpus generator with exact ground truth.
 
-On top of the paper's pipeline sit two production layers:
+On top of the paper's pipeline sit three production layers:
 :mod:`repro.pipeline` (the sharded multiprocess corpus engine with an
-exact-parity guarantee) and :mod:`repro.service` (a dependency-free
-HTTP JSON API over a warm shared estimator — ``python -m repro
-serve``).
+exact-parity guarantee), :mod:`repro.service` (a dependency-free HTTP
+JSON API over a warm shared estimator — ``python -m repro serve``)
+and :mod:`repro.artifacts` (a versioned build-once snapshot store —
+``repro build-artifact`` / ``repro serve --artifact`` — that
+cold-starts every one of those processes in milliseconds with
+bit-identical outputs).
 
 Quickstart::
 
@@ -42,7 +45,7 @@ from repro.pipeline import EstimatorSpec, ShardedCorpusEstimator
 from repro.recipedb.generator import GeneratorConfig, RecipeGenerator
 from repro.usda.database import NutrientDatabase, load_default_database
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "IngredientEstimate",

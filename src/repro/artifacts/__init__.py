@@ -1,0 +1,60 @@
+"""Versioned build-once artifact store for instant cold starts.
+
+Every process that serves the pipeline — ``repro serve``, each
+sharded-engine worker, CLI ``batch`` runs — needs the same expensive
+state: the USDA database, the matcher's preprocessed descriptions and
+inverted index, per-food unit tables, and (for the paper's learned
+configuration) trained perceptron weights.  This package builds that
+state **once** into a single checksummed file and reconstructs a ready
+:class:`~repro.core.estimator.NutritionEstimator` from it in
+milliseconds, with bit-identical outputs.
+
+Build an artifact (CLI: ``repro build-artifact``)::
+
+    from repro.artifacts import save_artifact
+    from repro import NutritionEstimator
+
+    save_artifact("pipeline.artifact", NutritionEstimator())
+
+Load one — directly, or through an
+:class:`~repro.pipeline.spec.EstimatorSpec` so sharded workers and the
+HTTP service pick it up (``repro serve --artifact``)::
+
+    from repro.artifacts import load_artifact
+    from repro import EstimatorSpec
+
+    estimator = load_artifact("pipeline.artifact").build_estimator()
+    spec = EstimatorSpec(artifact_path="pipeline.artifact")
+
+File layout, version/checksum rules and the compatibility policy are
+documented in ``docs/artifact-format.md``.
+"""
+
+from repro.artifacts.errors import (
+    ArtifactCorruptError,
+    ArtifactError,
+    ArtifactMismatchError,
+    ArtifactVersionError,
+)
+from repro.artifacts.format import FORMAT_VERSION, MAGIC
+from repro.artifacts.store import (
+    ArtifactSnapshot,
+    capture_payload,
+    database_fingerprint,
+    load_artifact,
+    save_artifact,
+)
+
+__all__ = [
+    "ArtifactCorruptError",
+    "ArtifactError",
+    "ArtifactMismatchError",
+    "ArtifactVersionError",
+    "ArtifactSnapshot",
+    "FORMAT_VERSION",
+    "MAGIC",
+    "capture_payload",
+    "database_fingerprint",
+    "load_artifact",
+    "save_artifact",
+]

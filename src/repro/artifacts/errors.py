@@ -1,0 +1,43 @@
+"""Typed failures for the artifact store.
+
+Every way a snapshot can be unusable maps to one exception class, so
+callers (the CLI, ``EstimatorSpec.build``, service startup) can tell
+"this file is damaged" from "this file is from the future" from "this
+file describes a different database" — and none of them can be
+mistaken for a successful load.
+"""
+
+from __future__ import annotations
+
+
+class ArtifactError(Exception):
+    """Base class for every artifact-store failure."""
+
+
+class ArtifactCorruptError(ArtifactError):
+    """The file is not a readable artifact.
+
+    Raised for a truncated file, a missing/garbled magic header, a
+    payload whose checksum does not match the header, and payloads
+    that fail to deserialize or carry non-builtin objects.
+    """
+
+
+class ArtifactVersionError(ArtifactError):
+    """The artifact's format version is not supported by this code.
+
+    Raised when the header declares a version newer than
+    :data:`repro.artifacts.format.FORMAT_VERSION` (written by a newer
+    repro) or an unknown older one.  Rebuild the artifact with
+    ``repro build-artifact``.
+    """
+
+
+class ArtifactMismatchError(ArtifactError):
+    """The artifact is valid but incompatible with the requesting spec.
+
+    Raised when an :class:`~repro.pipeline.spec.EstimatorSpec` that
+    pins a custom food database loads an artifact built against a
+    different one — silently serving nutrition numbers from the wrong
+    database is the failure mode this class exists to prevent.
+    """

@@ -7,7 +7,8 @@ Subcommands::
     python -m repro match "red lentils" --state rinsed --explain
     python -m repro generate --recipes 5 --out corpus.jsonl
     python -m repro batch corpus.jsonl --workers 4 --jsonl
-    python -m repro serve --port 8080 --workers 2
+    python -m repro build-artifact pipeline.artifact
+    python -m repro serve --port 8080 --workers 2 --artifact pipeline.artifact
     python -m repro tables
 
 ``batch`` runs the two-phase corpus protocol; ``--workers N`` (N > 1)
@@ -15,7 +16,11 @@ fans it out through the sharded multiprocess engine and ``--jsonl``
 streams the corpus with bounded memory.  ``serve`` stands up the
 long-lived HTTP JSON API (``/v1/estimate``, ``/v1/estimate_batch``,
 ``/v1/match``, ``/v1/parse``, ``/healthz``, ``/metrics`` — see
-``docs/api.md``) on a warm shared estimator.
+``docs/api.md``) on a warm shared estimator.  ``build-artifact``
+captures everything expensive to construct into one checksummed
+snapshot file; ``batch``/``serve`` ``--artifact`` then start every
+process — coordinator and sharded workers alike — from that snapshot
+instead of rebuilding (see ``docs/operations.md``).
 """
 
 from __future__ import annotations
@@ -26,7 +31,7 @@ import time
 
 from repro.core.estimator import NutritionEstimator
 from repro.matching.explain import explain_match
-from repro.pipeline import ShardedCorpusEstimator
+from repro.pipeline import EstimatorSpec, ShardedCorpusEstimator
 from repro.recipedb.corpus import (
     iter_recipes_jsonl,
     load_recipes_jsonl,
@@ -86,6 +91,12 @@ def _cmd_match(args: argparse.Namespace) -> int:
     return 0
 
 
+def _spec_from_args(args: argparse.Namespace) -> EstimatorSpec:
+    """Estimator spec for commands that accept ``--artifact``."""
+    artifact = getattr(args, "artifact", None)
+    return EstimatorSpec(artifact_path=artifact or None)
+
+
 def _cmd_batch(args: argparse.Namespace) -> int:
     """Estimate a whole JSONL corpus through the batch pipeline."""
     if args.passes < 1:
@@ -94,6 +105,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     if args.workers < 1:
         print(f"error: --workers must be >= 1, got {args.workers}")
         return 2
+    spec = _spec_from_args(args)
     use_engine = args.workers > 1 or args.jsonl
     if use_engine and args.passes != 2:
         print(
@@ -114,7 +126,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         # (twice, bounded memory); recipes stream alongside for titles
         # and results print as they arrive.  Estimation is lazy here,
         # so the timer necessarily spans the consuming loop.
-        engine = ShardedCorpusEstimator(workers=args.workers)
+        engine = ShardedCorpusEstimator(spec, workers=args.workers)
         start = time.perf_counter()
         for recipe, est in zip(
             iter_recipes_jsonl(args.path),
@@ -131,7 +143,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         # the printing.  --passes 1 keeps the incremental single-pass
         # behaviour.
         recipes = load_recipes_jsonl(args.path)
-        estimator = NutritionEstimator()
+        estimator = spec.build()
         start = time.perf_counter()
         estimates = estimator.estimate_corpus(recipes, passes=args.passes)
         elapsed = time.perf_counter() - start
@@ -177,11 +189,59 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             port=args.port,
             workers=args.workers,
             cache_cap=args.cache_cap,
+            spec=_spec_from_args(args),
         )
     except ValueError as exc:
         print(f"error: {exc}")
         return 2
     return serve(config)
+
+
+def _cmd_build_artifact(args: argparse.Namespace) -> int:
+    """Capture a ready estimator into a build-once artifact file."""
+    from repro.artifacts import load_artifact, save_artifact
+
+    tagger = None
+    if args.tagger == "perceptron":
+        if args.train_phrases < 1:
+            print(f"error: --train-phrases must be >= 1, "
+                  f"got {args.train_phrases}")
+            return 2
+        if args.epochs < 1:
+            print(f"error: --epochs must be >= 1, got {args.epochs}")
+            return 2
+        from repro.ner.perceptron import AveragedPerceptronTagger
+        from repro.recipedb.generator import RecipeGenerator as _Gen
+
+        print(
+            f"training averaged perceptron "
+            f"({args.train_phrases} phrases, {args.epochs} epochs, "
+            f"seed {args.seed}) ...",
+            flush=True,
+        )
+        start = time.perf_counter()
+        generator = _Gen(config=GeneratorConfig(seed=args.seed))
+        phrases = [
+            item.tagged
+            for item in generator.generate_phrases(args.train_phrases)
+        ]
+        tagger = AveragedPerceptronTagger(seed=args.seed)
+        tagger.train(phrases, epochs=args.epochs)
+        print(f"trained in {time.perf_counter() - start:.1f}s")
+
+    start = time.perf_counter()
+    estimator = NutritionEstimator(tagger=tagger)
+    built_s = time.perf_counter() - start
+    n_bytes = save_artifact(args.out, estimator)
+    meta = load_artifact(args.out).meta
+    print(
+        f"wrote {args.out}: {n_bytes} bytes, format v{meta['format']}, "
+        f"{meta['foods']} foods, {meta['vocabulary_words']} vocabulary "
+        f"words, tagger={meta['tagger']} "
+        f"(estimator built in {built_s * 1000:.0f} ms)"
+    )
+    print(f"serve from it:  repro serve --artifact {args.out}")
+    return 0
 
 
 def _cmd_tables(args: argparse.Namespace) -> int:
@@ -208,7 +268,8 @@ def build_parser() -> argparse.ArgumentParser:
             '  repro estimate --servings 4 "2 cups flour" "1 tsp salt"\n'
             "  repro generate --recipes 200 --out corpus.jsonl\n"
             "  repro batch corpus.jsonl --workers 4 --jsonl\n"
-            "  repro serve --port 8080 --workers 2\n"
+            "  repro build-artifact pipeline.artifact\n"
+            "  repro serve --port 8080 --workers 2 --artifact pipeline.artifact\n"
             "\n"
             "see README.md for a tour and docs/api.md for the HTTP API"
         ),
@@ -244,6 +305,10 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--jsonl", action="store_true",
                        help="stream the corpus (bounded memory) through "
                             "the corpus engine instead of loading it")
+    batch.add_argument("--artifact", default="",
+                       help="start coordinator and workers from a "
+                            "build-artifact snapshot instead of "
+                            "rebuilding the pipeline per process")
     batch.set_defaults(func=_cmd_batch)
 
     serve_cmd = sub.add_parser(
@@ -261,7 +326,33 @@ def build_parser() -> argparse.ArgumentParser:
                            default=DEFAULT_RESPONSE_CACHE_CAP,
                            help="response cache entry cap (default "
                                 f"{DEFAULT_RESPONSE_CACHE_CAP})")
+    serve_cmd.add_argument("--artifact", default="",
+                           help="start the service (and any workers) "
+                                "from a build-artifact snapshot for an "
+                                "instant cold start")
     serve_cmd.set_defaults(func=_cmd_serve)
+
+    build_artifact = sub.add_parser(
+        "build-artifact",
+        help="capture the pipeline into a build-once artifact file")
+    build_artifact.add_argument(
+        "out", help="output path (convention: *.artifact)")
+    build_artifact.add_argument(
+        "--tagger", choices=("rule", "perceptron"), default="rule",
+        help="NER tagger to capture: the deterministic rule tagger "
+             "(default) or an averaged perceptron trained on a "
+             "generated corpus")
+    build_artifact.add_argument(
+        "--train-phrases", type=int, default=3000,
+        help="training phrases for --tagger perceptron (default 3000)")
+    build_artifact.add_argument(
+        "--epochs", type=int, default=5,
+        help="training epochs for --tagger perceptron (default 5)")
+    build_artifact.add_argument(
+        "--seed", type=int, default=13,
+        help="corpus + shuffle seed for --tagger perceptron "
+             "(default 13)")
+    build_artifact.set_defaults(func=_cmd_build_artifact)
 
     generate = sub.add_parser("generate", help="generate a synthetic corpus")
     generate.add_argument("--recipes", type=int, default=10)
@@ -276,9 +367,15 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns the process exit code."""
+    from repro.artifacts import ArtifactError
+
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except (ArtifactError, FileNotFoundError) as exc:
+        print(f"error: {exc}")
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -121,14 +121,37 @@ class NutritionEstimator:
         matcher_config: MatcherConfig | None = None,
         fallback: UnitFallback | None = None,
         cache_cap: int = DEFAULT_CACHE_CAP,
+        *,
+        matcher: DescriptionMatcher | None = None,
+        resolvers: dict[str, UnitResolver] | None = None,
     ):
+        """Build the pipeline, or assemble it from prebuilt parts.
+
+        The keyword-only *matcher* and *resolvers* accept components
+        restored from an artifact snapshot (:mod:`repro.artifacts`),
+        skipping description preprocessing and portion normalization.
+        A prebuilt matcher must wrap *database* and excludes
+        *matcher_config* (the matcher already carries its config).
+        """
         self._db = database or load_default_database()
         self._tagger: Tagger = tagger or RuleBasedTagger()
-        self._matcher = DescriptionMatcher(
-            self._db, matcher_config, cache_cap=cache_cap
-        )
+        if matcher is None:
+            matcher = DescriptionMatcher(
+                self._db, matcher_config, cache_cap=cache_cap
+            )
+        else:
+            if matcher_config is not None:
+                raise ValueError(
+                    "matcher_config and a prebuilt matcher are mutually "
+                    "exclusive (the matcher already has a config)"
+                )
+            if matcher.database is not self._db:
+                raise ValueError(
+                    "prebuilt matcher must wrap the estimator's database"
+                )
+        self._matcher = matcher
         self._fallback = fallback or UnitFallback()
-        self._resolvers: dict[str, UnitResolver] = {}
+        self._resolvers: dict[str, UnitResolver] = dict(resolvers or {})
         # text -> ParsedIngredient memo: tokenization + NER tagging is
         # deterministic per tagger, and real corpora repeat lines
         # heavily ("1 teaspoon salt"), so batch paths pay the parse
@@ -143,6 +166,11 @@ class NutritionEstimator:
     @property
     def matcher(self) -> DescriptionMatcher:
         return self._matcher
+
+    @property
+    def tagger(self) -> Tagger:
+        """The NER tagger stage (rule tagger unless one was injected)."""
+        return self._tagger
 
     @property
     def fallback(self) -> UnitFallback:

@@ -57,6 +57,34 @@ class DescriptionIndex:
             d.has_raw for d in descriptions
         )
 
+    @classmethod
+    def from_parts(
+        cls,
+        postings: dict[str, Sequence[int]],
+        word_counts: Sequence[int],
+        has_raw: Sequence[bool],
+    ) -> "DescriptionIndex":
+        """Reconstruct an index from :meth:`to_parts` output.
+
+        Used by :mod:`repro.artifacts` to restore a snapshot without
+        re-walking the descriptions.  The parts are trusted as-is (the
+        artifact layer checksums them); a round trip through
+        ``from_parts(*index.to_parts())`` is equal to the original.
+        """
+        index = cls.__new__(cls)
+        index._postings = {
+            word: tuple(indices) for word, indices in postings.items()
+        }
+        index._word_counts = tuple(word_counts)
+        index._has_raw = tuple(bool(flag) for flag in has_raw)
+        return index
+
+    def to_parts(
+        self,
+    ) -> tuple[dict[str, tuple[int, ...]], tuple[int, ...], tuple[bool, ...]]:
+        """The index's full state: (postings, word counts, raw flags)."""
+        return dict(self._postings), self._word_counts, self._has_raw
+
     def __len__(self) -> int:
         """Number of indexed descriptions."""
         return len(self._word_counts)

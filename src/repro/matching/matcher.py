@@ -98,6 +98,44 @@ class DescriptionMatcher:
             BoundedCache(cache_cap)
         )
 
+    @classmethod
+    def from_precomputed(
+        cls,
+        database: NutrientDatabase,
+        descriptions: Sequence[PreprocessedDescription],
+        index: DescriptionIndex,
+        config: MatcherConfig | None = None,
+        cache_cap: int = DEFAULT_CACHE_CAP,
+    ) -> "DescriptionMatcher":
+        """Construct a matcher from already-preprocessed state.
+
+        The artifact loader (:mod:`repro.artifacts`) restores the
+        description word sets and the inverted index from a snapshot
+        and skips the per-description lemmatization pass entirely —
+        the matcher's dominant construction cost.  *descriptions* and
+        *index* must describe *database* in SR index order; queries
+        against the result are bit-identical to a freshly built
+        matcher because per-query scoring reads only this state (the
+        heuristic switches in *config* are applied at query time and
+        are independent of it).
+        """
+        matcher = cls.__new__(cls)
+        matcher._db = database
+        matcher._config = config or MatcherConfig()
+        matcher._lemmatizer = WordNetStyleLemmatizer(database.vocabulary())
+        matcher._canon_cache = BoundedCache(cache_cap)
+        matcher._token_cache = BoundedCache(cache_cap)
+        matcher._descriptions = list(descriptions)
+        matcher._foods = list(database)
+        matcher._index = index
+        matcher._cache = BoundedCache(cache_cap)
+        if len(matcher._descriptions) != len(matcher._foods):
+            raise ValueError(
+                f"{len(matcher._descriptions)} precomputed descriptions "
+                f"for {len(matcher._foods)} foods"
+            )
+        return matcher
+
     @property
     def database(self) -> NutrientDatabase:
         return self._db

@@ -20,7 +20,6 @@ same model family built from scratch:
 """
 
 from repro.ner.corpus import TAGS, TaggedPhrase, read_tsv, write_tsv
-from repro.ner.crf import LinearChainCRF
 from repro.ner.features import extract_features
 from repro.ner.metrics import (
     EvaluationReport,
@@ -31,6 +30,23 @@ from repro.ner.metrics import (
 from repro.ner.perceptron import AveragedPerceptronTagger
 from repro.ner.rule_tagger import RuleBasedTagger
 from repro.ner.clustering import cluster_phrases, select_diverse_corpus
+
+
+def __getattr__(name: str):
+    """Lazy export of :class:`LinearChainCRF`.
+
+    ``repro.ner.crf`` imports scipy (L-BFGS training), which costs
+    ~0.4 s — most of the pipeline's cold start — yet every default
+    path uses the rule tagger or the perceptron.  Deferring the import
+    until the CRF is actually requested keeps ``import repro`` (and
+    artifact-loaded service startup) scipy-free.
+    """
+    if name == "LinearChainCRF":
+        from repro.ner.crf import LinearChainCRF
+
+        return LinearChainCRF
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "TAGS",

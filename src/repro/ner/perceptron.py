@@ -115,6 +115,47 @@ class AveragedPerceptronTagger:
         self._intern_weights()
         self._trained = True
 
+    def snapshot(self) -> dict:
+        """Plain-builtins view of the trained model state.
+
+        The weight dict is the single source of truth: entries are
+        listed in insertion order, and :meth:`from_snapshot` re-inserts
+        them identically before calling :meth:`_intern_weights` —
+        which assigns feature ids by first appearance — so the
+        restored interned matrix, and therefore every decode, is
+        bit-identical to the original's.  (``ndarray.tolist``
+        round-trips float64 exactly.)  Deriving the interned view on
+        restore rather than storing it means a snapshot cannot carry a
+        matrix that disagrees with its weights.
+        """
+        if not self._trained:
+            raise ValueError("cannot snapshot an untrained tagger")
+        return {
+            "tags": list(self._tags),
+            "seed": self._seed,
+            "weights": [
+                [feat, tag, value]
+                for (feat, tag), value in self._weights.items()
+            ],
+            "transitions": self._transitions.tolist(),
+            "start": self._start.tolist(),
+        }
+
+    @classmethod
+    def from_snapshot(cls, state: dict) -> "AveragedPerceptronTagger":
+        """Rebuild a trained tagger from :meth:`snapshot` output."""
+        tagger = cls(tags=tuple(state["tags"]), seed=int(state["seed"]))
+        for feat, tag, value in state["weights"]:
+            tagger._weights[(feat, int(tag))] = float(value)
+        K = len(tagger._tags)
+        tagger._transitions = np.asarray(
+            state["transitions"], dtype=float
+        ).reshape(K, K)
+        tagger._start = np.asarray(state["start"], dtype=float).reshape(K)
+        tagger._intern_weights()
+        tagger._trained = True
+        return tagger
+
     def _intern_weights(self) -> None:
         """Build the interned feature-id / weight-matrix decode view.
 

@@ -33,6 +33,7 @@ whole corpus into the task queue.
 
 from __future__ import annotations
 
+import dataclasses
 import gc
 import multiprocessing as mp
 import os
@@ -62,12 +63,24 @@ CorpusSource = Sequence[Recipe] | str | Path
 # worker side: one estimator per process, rebuilt from the spec once
 
 _WORKER_ESTIMATOR: NutritionEstimator | None = None
+_WORKER_INIT_ERROR: BaseException | None = None
 _WORKER_STATS_INSTALLED = False
 
 
 def _init_worker(spec: EstimatorSpec) -> None:
-    global _WORKER_ESTIMATOR, _WORKER_STATS_INSTALLED
-    _WORKER_ESTIMATOR = spec.build()
+    global _WORKER_ESTIMATOR, _WORKER_INIT_ERROR, _WORKER_STATS_INSTALLED
+    # A raising Pool initializer kills the worker and the pool spawns
+    # a replacement, which fails the same way — an endless respawn
+    # loop instead of an error.  Stash the failure (e.g. a typed
+    # ArtifactMismatchError from a swapped artifact file) and let the
+    # first task re-raise it through imap to the coordinator.
+    try:
+        _WORKER_ESTIMATOR = spec.build()
+    except BaseException as exc:  # noqa: BLE001 — re-raised per task
+        _WORKER_ESTIMATOR = None
+        _WORKER_INIT_ERROR = exc
+        return
+    _WORKER_INIT_ERROR = None
     _WORKER_STATS_INSTALLED = False
     # On fork start, workers inherit the coordinator heap (recipe
     # lists, caches) copy-on-write.  Freezing moves those objects out
@@ -76,8 +89,17 @@ def _init_worker(spec: EstimatorSpec) -> None:
     gc.freeze()
 
 
+def _require_estimator() -> NutritionEstimator:
+    if _WORKER_ESTIMATOR is None:
+        raise _WORKER_INIT_ERROR or RuntimeError(
+            "pool worker has no estimator (initializer did not run)"
+        )
+    return _WORKER_ESTIMATOR
+
+
 def _collect_chunk(chunk: list[tuple[str, int]]):
     """Phase-1 task: wire estimates + observation snapshot for a chunk."""
+    _require_estimator()
     estimates, snapshot = _WORKER_ESTIMATOR.corpus_collect_estimates(chunk)
     wire = dumps_estimates(
         [estimates[text] for text, _ in chunk], _WORKER_ESTIMATOR.database
@@ -93,6 +115,7 @@ def _fallback_chunk(task):
     change under a live worker).
     """
     global _WORKER_STATS_INSTALLED
+    _require_estimator()
     snapshot, texts = task
     if not _WORKER_STATS_INSTALLED:
         fallback = _WORKER_ESTIMATOR.fallback
@@ -153,6 +176,18 @@ class ShardedCorpusEstimator:
         self._max_pending = max_pending or 4 * self._workers
         self._local: NutritionEstimator | None = None
         self._foods = None
+        self._pinned_fingerprint: str | None = None
+        if self._spec.artifact_path is not None:
+            # Pin the artifact version now: the coordinator's food
+            # list (the wire codec's index space) must come from the
+            # same file state the engine was created against, not from
+            # whatever the file contains when the first corpus runs.
+            # Foods and fingerprint both come from ONE snapshot so a
+            # swap landing mid-construction cannot split the pin
+            # across two file states.
+            snapshot = self._spec._snapshot()
+            self._foods = list(snapshot.database())
+            self._pinned_fingerprint = snapshot.fingerprint
 
     @property
     def spec(self) -> EstimatorSpec:
@@ -236,13 +271,41 @@ class ShardedCorpusEstimator:
     def _run_local(self, counts: dict[str, int]) -> dict[str, IngredientEstimate]:
         return self._local_estimator().corpus_estimate_table(counts)
 
+    def _worker_spec(self) -> EstimatorSpec:
+        """The spec shipped to pool workers.
+
+        For artifact-backed specs the coordinator pins the database
+        fingerprint it loaded at construction onto the worker spec:
+        workers re-read the artifact file at pool start-up, and the
+        wire codec decodes foods by database *index* against the
+        coordinator's list — if the file were swapped for one built
+        against different data between the coordinator's load and a
+        later pool spawn (e.g. a deploy refreshing the artifact under
+        a running service), the indices would silently resolve to the
+        wrong foods.  Pinning routes that race into
+        ``EstimatorSpec``'s fingerprint check, so every worker either
+        loads the identical database or fails its pool task with a
+        typed ``ArtifactMismatchError`` — at the cost of one string
+        in initargs, not a pickled food list.
+        """
+        if (
+            self._pinned_fingerprint is None
+            or self._spec.expected_fingerprint is not None
+        ):
+            return self._spec
+        return dataclasses.replace(
+            self._spec, expected_fingerprint=self._pinned_fingerprint
+        )
+
     def _run_pool(self, counts: dict[str, int]) -> dict[str, IngredientEstimate]:
         foods = self._food_list()
         merged_fallback = UnitFallback(self._spec.max_grams)
         estimates: dict[str, IngredientEstimate] = {}
         context = mp.get_context()
         with context.Pool(
-            self._workers, initializer=_init_worker, initargs=(self._spec,)
+            self._workers,
+            initializer=_init_worker,
+            initargs=(self._worker_spec(),),
         ) as pool:
             # Phase 1+2: collect shards, merge snapshots in chunk order.
             chunks = list(_chunked(counts.items(), self._chunk_size))

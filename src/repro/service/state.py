@@ -24,6 +24,7 @@ hits and ``/healthz``/``/metrics`` never take it.
 
 from __future__ import annotations
 
+import dataclasses
 import threading
 from collections import Counter
 from dataclasses import dataclass, field
@@ -73,7 +74,9 @@ class ServiceConfig:
     spec:
         The estimator configuration the service builds once at
         startup; picklable, so the same spec also parameterizes the
-        engine's worker processes.
+        engine's worker processes.  With ``spec.artifact_path`` set
+        (``repro serve --artifact``) that build is a snapshot load —
+        the service and every worker cold-start in milliseconds.
     max_body_bytes:
         Request bodies above this size are rejected with HTTP 413.
     """
@@ -107,8 +110,26 @@ class ServiceState:
         # The warm shared estimator — the service's whole reason to
         # exist.  Built eagerly so the first request is already fast.
         self._estimator = config.spec.build()
+        # For an artifact-backed spec, pin the engine (and through it
+        # every pool worker) to the exact database the warm estimator
+        # was built from: if the artifact file is replaced under a
+        # running service, batch fan-out must fail with a typed
+        # mismatch rather than let /v1/estimate and /v1/estimate_batch
+        # silently answer from different databases.  The pin is the
+        # fingerprint string, not the food list — one initargs string
+        # per pool spawn, worker-side comparison is a string equality.
+        engine_spec = config.spec
+        if engine_spec.artifact_path is not None:
+            from repro.artifacts import database_fingerprint
+
+            engine_spec = dataclasses.replace(
+                engine_spec,
+                expected_fingerprint=database_fingerprint(
+                    self._estimator.database
+                ),
+            )
         self._engine: ShardedCorpusEstimator | None = (
-            ShardedCorpusEstimator(config.spec, workers=config.workers)
+            ShardedCorpusEstimator(engine_spec, workers=config.workers)
             if config.workers > 1
             else None
         )
@@ -259,6 +280,7 @@ class ServiceState:
             "version": __version__,
             "uptime_s": round(self.metrics.uptime_s, 3),
             "workers": self.config.workers,
+            "artifact": self.config.spec.artifact_path,
             "requests_total": self.metrics.total_requests(),
         }
 

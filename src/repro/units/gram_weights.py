@@ -64,6 +64,24 @@ class UnitResolver:
             # SR's own ordering of household measures.
             self._portion_grams.setdefault(unit, portion.grams_per_amount)
 
+    @classmethod
+    def from_parts(
+        cls, food: FoodItem, portion_grams: dict[str, float]
+    ) -> "UnitResolver":
+        """Reconstruct a resolver from precomputed portion weights.
+
+        *portion_grams* must be a prior :meth:`known_units` result for
+        *food* — the artifact loader (:mod:`repro.artifacts`) stores
+        one table per food so restored estimators skip the portion
+        normalization pass.  Countable fallback still walks the food's
+        portions at resolve time, exactly like a freshly built
+        resolver.
+        """
+        resolver = cls.__new__(cls)
+        resolver._food = food
+        resolver._portion_grams = dict(portion_grams)
+        return resolver
+
     @property
     def food(self) -> FoodItem:
         return self._food

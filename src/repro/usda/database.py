@@ -109,6 +109,17 @@ class NutrientDatabase:
         self._vocabulary = frozenset(words)
         return self._vocabulary
 
+    def install_vocabulary(self, words: Iterable[str]) -> None:
+        """Install a precomputed :meth:`vocabulary` result.
+
+        The artifact loader (:mod:`repro.artifacts`) stores the
+        vocabulary alongside the food rows so restoring a database
+        skips the description scan.  A subsequent :meth:`add` still
+        invalidates the cache, so a mutated database can never serve a
+        stale word set.
+        """
+        self._vocabulary = frozenset(words)
+
 
 @functools.lru_cache(maxsize=1)
 def load_default_database() -> NutrientDatabase:

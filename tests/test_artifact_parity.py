@@ -1,0 +1,143 @@
+"""Bit-identical parity: artifact-loaded vs built-from-scratch.
+
+The artifact store's core guarantee — loading a snapshot must change
+*nothing* about what the pipeline computes.  Every comparison here is
+field-for-field dataclass equality (floats compare with ``==``, no
+tolerance): the generated corpus through the two-phase protocol, the
+single-phrase paths, a trained perceptron's decodes, and the sharded
+engine at multiple worker counts against the in-process reference.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    EstimatorSpec,
+    GeneratorConfig,
+    NutritionEstimator,
+    RecipeGenerator,
+    ShardedCorpusEstimator,
+)
+from repro.artifacts import load_artifact, save_artifact
+from repro.ner.perceptron import AveragedPerceptronTagger
+
+N_RECIPES = 60
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return RecipeGenerator(config=GeneratorConfig(seed=11)).generate(
+        N_RECIPES
+    )
+
+
+@pytest.fixture(scope="module")
+def artifact_path(tmp_path_factory):
+    path = tmp_path_factory.mktemp("parity") / "pipeline.artifact"
+    save_artifact(path, NutritionEstimator())
+    return path
+
+
+@pytest.fixture(scope="module")
+def fresh_estimates(corpus):
+    return NutritionEstimator().estimate_corpus(corpus)
+
+
+class TestSingleProcessParity:
+    def test_corpus_protocol_is_bit_identical(
+        self, corpus, artifact_path, fresh_estimates
+    ):
+        loaded = load_artifact(artifact_path).build_estimator()
+        assert loaded.estimate_corpus(corpus) == fresh_estimates
+
+    def test_single_phrase_paths_are_bit_identical(self, artifact_path):
+        fresh = NutritionEstimator()
+        loaded = load_artifact(artifact_path).build_estimator()
+        phrases = [
+            "2 cups all-purpose flour",
+            "3/4 cup butter , softened",
+            "1 small onion , finely chopped",
+            "500 g flour or 1 cup",
+            "2 tsp garam masala",  # deliberately unmappable
+            "salt to taste",
+        ]
+        for text in phrases:
+            assert loaded.parse(text) == fresh.parse(text)
+            assert loaded.estimate_ingredient(
+                text
+            ) == fresh.estimate_ingredient(text)
+
+    def test_matcher_rankings_are_bit_identical(self, artifact_path):
+        fresh = NutritionEstimator().matcher
+        loaded = load_artifact(artifact_path).build_estimator().matcher
+        for name, state in [
+            ("butter", ""),
+            ("red lentils", "rinsed"),
+            ("apple", ""),
+            ("white sugar", ""),
+            ("eggs", "beaten"),
+        ]:
+            assert loaded.match(name, state) == fresh.match(name, state)
+            assert loaded.top_matches(name, state, k=5) == fresh.top_matches(
+                name, state, k=5
+            )
+
+
+class TestShardedEngineParity:
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_engine_from_artifact_matches_fresh_build(
+        self, corpus, artifact_path, fresh_estimates, workers
+    ):
+        engine = ShardedCorpusEstimator(
+            EstimatorSpec(artifact_path=str(artifact_path)),
+            workers=workers,
+            chunk_size=32,  # force several chunks per worker
+        )
+        assert engine.estimate_corpus(corpus) == fresh_estimates
+
+
+class TestPerceptronParity:
+    @pytest.fixture(scope="class")
+    def trained(self):
+        generator = RecipeGenerator(config=GeneratorConfig(seed=5))
+        phrases = [i.tagged for i in generator.generate_phrases(250)]
+        tagger = AveragedPerceptronTagger()
+        tagger.train(phrases, epochs=2)
+        return tagger
+
+    @pytest.fixture(scope="class")
+    def perceptron_artifact(self, trained, tmp_path_factory):
+        path = tmp_path_factory.mktemp("parity-nn") / "trained.artifact"
+        save_artifact(path, NutritionEstimator(tagger=trained))
+        return path
+
+    def test_restored_weights_are_exact(self, trained, perceptron_artifact):
+        restored = load_artifact(perceptron_artifact).build_tagger()
+        assert restored._weights == trained._weights
+        assert restored._feature_ids == trained._feature_ids
+        assert (restored._weight_matrix == trained._weight_matrix).all()
+        assert (restored._transitions == trained._transitions).all()
+        assert (restored._start == trained._start).all()
+
+    def test_decodes_are_bit_identical(
+        self, trained, perceptron_artifact, corpus
+    ):
+        restored = load_artifact(perceptron_artifact).build_tagger()
+        from repro.text.tokenize import tokenize
+
+        for recipe in corpus[:20]:
+            for text in recipe.ingredient_texts:
+                tokens = tokenize(text)
+                assert restored.predict(tokens) == trained.predict(tokens)
+
+    def test_corpus_estimates_with_trained_tagger_are_bit_identical(
+        self, trained, perceptron_artifact, corpus
+    ):
+        fresh = NutritionEstimator(tagger=trained).estimate_corpus(corpus)
+        loaded = (
+            load_artifact(perceptron_artifact)
+            .build_estimator()
+            .estimate_corpus(corpus)
+        )
+        assert loaded == fresh

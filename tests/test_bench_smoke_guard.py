@@ -1,0 +1,79 @@
+"""Smoke-mode benchmark runs must never overwrite full-mode results.
+
+The committed ``results/BENCH_*.json`` artifacts are the per-revision
+performance record quoted in ``docs/performance.md``; CI runs every
+benchmark in smoke mode (``REPRO_BENCH_SMOKE=1``) at much smaller
+scale.  The regression this file pins: ``write_result`` must divert
+smoke output into the quarantined ``results/smoke/`` directory, and
+every benchmark must route its artifact through ``write_result``.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCHMARKS = REPO_ROOT / "benchmarks"
+
+
+@pytest.fixture()
+def bench_conftest():
+    spec = importlib.util.spec_from_file_location(
+        "bench_conftest", BENCHMARKS / "conftest.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("bench_conftest", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_full_mode_writes_to_results(
+    bench_conftest, tmp_path, monkeypatch
+):
+    monkeypatch.delenv("REPRO_BENCH_SMOKE", raising=False)
+    monkeypatch.setattr(bench_conftest, "RESULTS_DIR", tmp_path)
+    path = bench_conftest.write_result("BENCH_x.json", "{}")
+    assert path == tmp_path / "BENCH_x.json"
+    assert path.read_text(encoding="utf-8") == "{}\n"
+
+
+def test_smoke_mode_is_quarantined(bench_conftest, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_SMOKE", "1")
+    monkeypatch.setattr(bench_conftest, "RESULTS_DIR", tmp_path)
+    (tmp_path / "BENCH_x.json").write_text("FULL", encoding="utf-8")
+    path = bench_conftest.write_result("BENCH_x.json", "{}")
+    assert path == tmp_path / "smoke" / "BENCH_x.json"
+    # The committed full-mode artifact is untouched.
+    assert (tmp_path / "BENCH_x.json").read_text(encoding="utf-8") == "FULL"
+
+
+def test_smoke_flag_is_read_per_call_not_at_import(
+    bench_conftest, tmp_path, monkeypatch
+):
+    """The guard must hold even when the env var changes after import
+    (pytest imports conftest once; CI exports the var per step)."""
+    monkeypatch.setattr(bench_conftest, "RESULTS_DIR", tmp_path)
+    monkeypatch.delenv("REPRO_BENCH_SMOKE", raising=False)
+    assert bench_conftest.results_dir() == tmp_path
+    monkeypatch.setenv("REPRO_BENCH_SMOKE", "1")
+    assert bench_conftest.results_dir() == tmp_path / "smoke"
+
+
+def test_every_benchmark_routes_output_through_write_result():
+    """No benchmark may write into results/ behind the guard's back."""
+    for bench in sorted(BENCHMARKS.glob("bench_*.py")):
+        text = bench.read_text(encoding="utf-8")
+        assert "write_result" in text, f"{bench.name} bypasses write_result"
+        for needle in ('open("results', "open('results", "RESULTS_DIR /"):
+            assert needle not in text, (
+                f"{bench.name} hardcodes a results path ({needle!r})"
+            )
+
+
+def test_smoke_results_are_gitignored():
+    gitignore = (REPO_ROOT / ".gitignore").read_text(encoding="utf-8")
+    assert "results/smoke/" in gitignore.splitlines()

@@ -210,6 +210,48 @@ class TestServe:
         assert main(["serve", "--workers", "0"]) == 2
         assert "workers must be >= 1" in capsys.readouterr().out
 
+    def test_serve_artifact_flag_lands_in_spec(self, monkeypatch,
+                                               tmp_path):
+        import repro.cli as cli
+        from repro.artifacts import save_artifact
+        from repro.core.estimator import NutritionEstimator
+
+        path = tmp_path / "p.artifact"
+        save_artifact(path, NutritionEstimator())
+        captured = {}
+        monkeypatch.setattr(
+            cli, "serve",
+            lambda config: captured.setdefault("c", config) and 0,
+        )
+        main(["serve", "--artifact", str(path)])
+        assert captured["c"].spec.artifact_path == str(path)
+
+    def test_serve_corrupt_artifact_exits_typed(self, tmp_path, capsys):
+        bad = tmp_path / "bad.artifact"
+        bad.write_bytes(b"REPROART garbage")
+        assert main(["serve", "--artifact", str(bad)]) == 2
+        assert "error:" in capsys.readouterr().out
+
+
+class TestBuildArtifact:
+    def test_builds_loadable_artifact(self, tmp_path, capsys):
+        from repro.artifacts import load_artifact
+
+        path = tmp_path / "out.artifact"
+        assert main(["build-artifact", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "format v1" in out and "tagger=rule" in out
+        assert load_artifact(path).meta["foods"] > 0
+
+    def test_rejects_bad_training_args(self, tmp_path, capsys):
+        path = str(tmp_path / "x.artifact")
+        assert main(["build-artifact", path, "--tagger", "perceptron",
+                     "--train-phrases", "0"]) == 2
+        assert "--train-phrases must be >= 1" in capsys.readouterr().out
+        assert main(["build-artifact", path, "--tagger", "perceptron",
+                     "--epochs", "0"]) == 2
+        assert "--epochs must be >= 1" in capsys.readouterr().out
+
     def test_help_epilog_mentions_new_subcommands(self, capsys):
         import pytest as _pytest
 

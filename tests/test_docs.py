@@ -33,6 +33,8 @@ def test_required_documentation_exists():
         "docs/architecture.md",
         "docs/api.md",
         "docs/performance.md",
+        "docs/operations.md",
+        "docs/artifact-format.md",
         "CHANGES.md",
         "ROADMAP.md",
     ):
@@ -64,5 +66,79 @@ def test_link_extraction_handles_anchors_and_externals(tmp_path):
 def test_readme_links_into_docs():
     text = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
     for target in ("docs/architecture.md", "docs/api.md",
-                   "docs/performance.md"):
+                   "docs/performance.md", "docs/operations.md",
+                   "docs/artifact-format.md"):
         assert target in text, f"README.md does not link {target}"
+
+
+class TestSnippetChecker:
+    """The fenced-```python``` compile check (snippet-rot guard)."""
+
+    def test_all_repo_snippets_compile(self):
+        problems = check_docs.broken_snippets(REPO_ROOT)
+        assert not problems, "\n".join(problems)
+
+    def test_repo_docs_actually_contain_snippets(self):
+        """The guard must be exercising real blocks, not vacuously
+        passing because extraction silently matched nothing."""
+        total = sum(
+            len(
+                check_docs.extract_python_snippets(
+                    path.read_text(encoding="utf-8")
+                )
+            )
+            for path in check_docs.markdown_files(REPO_ROOT)
+        )
+        assert total >= 5, f"only {total} python snippets found"
+
+    def test_extraction_ignores_other_languages(self):
+        text = (
+            "```sh\nnot = python +\n```\n"
+            "```json\n{\"a\": 1}\n```\n"
+            "```\nplain fence\n```\n"
+            "```python\nx = 1\n```\n"
+        )
+        snippets = check_docs.extract_python_snippets(text)
+        assert len(snippets) == 1
+        assert snippets[0][1] == "x = 1\n"
+
+    def test_syntax_error_is_reported_with_location(self, tmp_path):
+        (tmp_path / "bad.md").write_text(
+            "intro\n\n```python\ndef broken(:\n```\n", encoding="utf-8"
+        )
+        problems = check_docs.broken_snippets(tmp_path)
+        assert len(problems) == 1
+        assert "bad.md:4" in problems[0]
+        assert "does not compile" in problems[0]
+
+    def test_doctest_blocks_are_reassembled(self, tmp_path):
+        (tmp_path / "doctest.md").write_text(
+            "```python\n"
+            ">>> x = [1, 2]\n"
+            ">>> for item in x:\n"
+            "...     print(item)\n"
+            "1\n"
+            "2\n"
+            "```\n",
+            encoding="utf-8",
+        )
+        assert check_docs.broken_snippets(tmp_path) == []
+
+    def test_ellipsis_and_annotations_compile(self, tmp_path):
+        (tmp_path / "frag.md").write_text(
+            "```python\n"
+            "def handler(payload: dict) -> dict:\n"
+            "    ...\n"
+            "```\n",
+            encoding="utf-8",
+        )
+        assert check_docs.broken_snippets(tmp_path) == []
+
+    def test_main_exit_code_covers_snippets(self, tmp_path, monkeypatch,
+                                            capsys):
+        (tmp_path / "bad.md").write_text(
+            "```python\n1 +\n```\n", encoding="utf-8"
+        )
+        monkeypatch.setattr(check_docs, "REPO_ROOT", tmp_path)
+        assert check_docs.main() == 1
+        assert "snippet does not compile" in capsys.readouterr().out

@@ -1,20 +1,29 @@
 #!/usr/bin/env python3
-"""Check that intra-repo markdown links resolve to real files.
+"""Documentation checks: intra-repo links resolve, code snippets parse.
 
-Scans every tracked ``*.md`` file for inline markdown links and
-reference definitions, ignores external targets (``http(s)://``,
-``mailto:``) and pure in-page anchors (``#...``), resolves
-relative targets against the linking file's directory, and fails if a
-target (file or directory) does not exist.  Targets may carry an
-anchor suffix (``docs/api.md#errors``) — only the path part is
-checked.
+**Links** — scans every tracked ``*.md`` file for inline markdown
+links and reference definitions, ignores external targets
+(``http(s)://``, ``mailto:``) and pure in-page anchors (``#...``),
+resolves relative targets against the linking file's directory, and
+fails if a target (file or directory) does not exist.  Targets may
+carry an anchor suffix (``docs/api.md#errors``) — only the path part
+is checked.
 
-Exits 0 when every link resolves, 1 otherwise — run directly in CI::
+**Snippets** — extracts every fenced ```` ```python ```` block from
+the same files and ``compile()``s it, so documentation code cannot
+silently rot into syntax errors when the API changes shape.
+Doctest-style blocks (``>>>`` prompts) are reassembled from their
+prompt lines before compiling.  Compilation checks syntax only — it
+proves the snippet is current Python, not that it runs; runnable
+walkthroughs belong in ``examples/`` where CI executes them.
+
+Exits 0 when every link resolves and every snippet compiles, 1
+otherwise — run directly in CI::
 
     python tools/check_docs.py
 
-Also importable: ``tests/test_docs.py`` runs the same check inside the
-tier-1 suite so broken links fail locally before CI.
+Also importable: ``tests/test_docs.py`` runs the same checks inside
+the tier-1 suite so broken docs fail locally before CI.
 """
 
 from __future__ import annotations
@@ -29,6 +38,15 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 #: reference definitions: [label]: target
 _INLINE_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
 _REF_DEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+
+#: Fenced code blocks with an info string, non-greedy to the closing
+#: fence.  Group 1: info string (language tag), group 2: body.
+_FENCE = re.compile(
+    r"^```([^\n`]*)\n(.*?)^```[ \t]*$", re.MULTILINE | re.DOTALL
+)
+
+#: Info-string values treated as Python.
+_PYTHON_LANGS = frozenset({"python", "py", "python3"})
 
 _EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
 
@@ -68,14 +86,77 @@ def broken_links(root: Path = REPO_ROOT) -> list[str]:
     return problems
 
 
+def _dedent_doctest(body: str) -> str:
+    """Reassemble executable code from a ``>>>``-style doctest block."""
+    lines: list[str] = []
+    for raw in body.splitlines():
+        stripped = raw.lstrip()
+        if stripped.startswith(">>>"):
+            lines.append(stripped[3:].removeprefix(" "))
+        elif stripped.startswith("...") and lines:
+            lines.append(stripped[3:].removeprefix(" "))
+        # Anything else is expected output; skip it.
+    return "\n".join(lines)
+
+
+def extract_python_snippets(text: str) -> list[tuple[int, str]]:
+    """``(start line, code)`` for every fenced python block in *text*.
+
+    Doctest-style blocks are converted to plain statements; other
+    blocks compile as written.
+    """
+    snippets: list[tuple[int, str]] = []
+    for match in _FENCE.finditer(text):
+        lang = match.group(1).strip().split()[0].lower() if match.group(1).strip() else ""
+        if lang not in _PYTHON_LANGS:
+            continue
+        body = match.group(2)
+        if any(
+            line.lstrip().startswith(">>>") for line in body.splitlines()
+        ):
+            body = _dedent_doctest(body)
+        line = text.count("\n", 0, match.start(2)) + 1
+        snippets.append((line, body))
+    return snippets
+
+
+def snippet_report(root: Path = REPO_ROOT) -> tuple[list[str], int]:
+    """(compile problems, total python snippets) over all markdown files.
+
+    Problems read ``"file:line: error"``; the count lets callers
+    assert the check is actually exercising blocks rather than
+    vacuously passing on zero extractions.
+    """
+    problems: list[str] = []
+    total = 0
+    for md_file in markdown_files(root):
+        text = md_file.read_text(encoding="utf-8")
+        for line, code in extract_python_snippets(text):
+            total += 1
+            try:
+                compile(code, f"{md_file.relative_to(root)}:{line}", "exec")
+            except SyntaxError as exc:
+                problems.append(
+                    f"{md_file.relative_to(root)}:{line}: snippet does "
+                    f"not compile — {exc.msg} (line {exc.lineno})"
+                )
+    return problems, total
+
+
+def broken_snippets(root: Path = REPO_ROOT) -> list[str]:
+    """``"file:line: error"`` for every python fence that fails to parse."""
+    return snippet_report(root)[0]
+
+
 def main() -> int:
-    files = markdown_files()
-    problems = broken_links()
+    files = markdown_files(REPO_ROOT)
+    snippet_problems, n_snippets = snippet_report(REPO_ROOT)
+    problems = broken_links(REPO_ROOT) + snippet_problems
     for problem in problems:
         print(problem)
     print(
-        f"checked {len(files)} markdown file(s): "
-        f"{len(problems)} broken link(s)"
+        f"checked {len(files)} markdown file(s), {n_snippets} python "
+        f"snippet(s): {len(problems)} problem(s)"
     )
     return 1 if problems else 0
 
