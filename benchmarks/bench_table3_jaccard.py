@@ -17,7 +17,7 @@ import random
 from conftest import write_result
 
 from repro.eval.metrics import metric_divergence
-from repro.eval.tables import TABLE_III_ROWS, render_table_iii
+from repro.eval.tables import render_table_iii
 from repro.matching.matcher import DescriptionMatcher, MatcherConfig
 from repro.recipedb.ingredients import INGREDIENTS
 from repro.usda.database import load_default_database

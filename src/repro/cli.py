@@ -5,15 +5,20 @@ Subcommands::
     python -m repro estimate --servings 4 "2 cups flour" "1 tsp salt"
     python -m repro parse "1 small onion , finely chopped"
     python -m repro match "red lentils" --state rinsed --explain
+    python -m repro explain "1 garlic" --context "2 cloves garlic , minced"
     python -m repro generate --recipes 5 --out corpus.jsonl
-    python -m repro batch corpus.jsonl --workers 4 --jsonl
+    python -m repro batch corpus.jsonl --workers 4 --jsonl --reasons
     python -m repro build-artifact pipeline.artifact
     python -m repro serve --port 8080 --workers 2 --artifact pipeline.artifact
     python -m repro tables
 
-``batch`` runs the two-phase corpus protocol; ``--workers N`` (N > 1)
-fans it out through the sharded multiprocess engine and ``--jsonl``
-streams the corpus with bounded memory.  ``serve`` stands up the
+``explain`` renders one line's full pipeline provenance — NER tags,
+description candidates, every §II-C resolution strategy with its
+reason code.  ``batch`` runs the two-phase corpus protocol;
+``--workers N`` (N > 1) fans it out through the sharded multiprocess
+engine, ``--jsonl`` streams the corpus with bounded memory and
+``--reasons`` appends the corpus reason-code breakdown (Figure 2's
+name-vs-full gap by cause).  ``serve`` stands up the
 long-lived HTTP JSON API (``/v1/estimate``, ``/v1/estimate_batch``,
 ``/v1/match``, ``/v1/parse``, ``/healthz``, ``/metrics`` — see
 ``docs/api.md``) on a warm shared estimator.  ``build-artifact``
@@ -29,7 +34,9 @@ import argparse
 import sys
 import time
 
-from repro.core.estimator import NutritionEstimator
+from repro.core.coverage import ReasonTally
+from repro.core.estimator import STATUS_FULL, NutritionEstimator
+from repro.core.explain import explain_line
 from repro.matching.explain import explain_match
 from repro.pipeline import EstimatorSpec, ShardedCorpusEstimator
 from repro.recipedb.corpus import (
@@ -91,6 +98,19 @@ def _cmd_match(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_explain(args: argparse.Namespace) -> int:
+    """Render one line's full pipeline provenance."""
+    if args.top < 0:
+        print(f"error: --top must be >= 0, got {args.top}")
+        return 2
+    estimator = NutritionEstimator()
+    explanation = explain_line(
+        estimator, args.phrase, context=args.context, k=args.top
+    )
+    print(explanation.render())
+    return 0 if explanation.estimate.status == STATUS_FULL else 1
+
+
 def _spec_from_args(args: argparse.Namespace) -> EstimatorSpec:
     """Estimator spec for commands that accept ``--artifact``."""
     artifact = getattr(args, "artifact", None)
@@ -121,6 +141,9 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 
     n_recipes = 0
     lines = 0
+    # Incremental fold, not a buffer: --reasons must not defeat the
+    # bounded memory of the streaming engine path.
+    reason_tally = ReasonTally() if args.reasons else None
     if use_engine:
         # Sharded/streaming path: the engine traverses the file itself
         # (twice, bounded memory); recipes stream alongside for titles
@@ -134,6 +157,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         ):
             n_recipes += 1
             lines += len(est.ingredients)
+            if reason_tally is not None:
+                reason_tally.add_recipe(est)
             show(recipe, est)
         elapsed = time.perf_counter() - start
         mode = f"{args.workers} worker(s), two-phase corpus protocol"
@@ -150,6 +175,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         for recipe, est in zip(recipes, estimates):
             n_recipes += 1
             lines += len(est.ingredients)
+            if reason_tally is not None:
+                reason_tally.add_recipe(est)
             show(recipe, est)
         mode = (
             "1 pass(es)" if args.passes == 1
@@ -164,6 +191,9 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         f"\n{n_recipes} recipes / {lines} ingredient lines "
         f"in {elapsed:.2f}s ({rate:.0f} lines/s, {mode})"
     )
+    if reason_tally is not None:
+        print("\nreason-code breakdown:")
+        print(reason_tally.breakdown().render())
     return 0
 
 
@@ -266,8 +296,9 @@ def build_parser() -> argparse.ArgumentParser:
         epilog=(
             "examples:\n"
             '  repro estimate --servings 4 "2 cups flour" "1 tsp salt"\n'
+            '  repro explain "1 garlic" --context "2 cloves garlic , minced"\n'
             "  repro generate --recipes 200 --out corpus.jsonl\n"
-            "  repro batch corpus.jsonl --workers 4 --jsonl\n"
+            "  repro batch corpus.jsonl --workers 4 --jsonl --reasons\n"
             "  repro build-artifact pipeline.artifact\n"
             "  repro serve --port 8080 --workers 2 --artifact pipeline.artifact\n"
             "\n"
@@ -292,6 +323,19 @@ def build_parser() -> argparse.ArgumentParser:
     match.add_argument("--top", type=int, default=5)
     match.set_defaults(func=_cmd_match)
 
+    explain = sub.add_parser(
+        "explain",
+        help="show one line's full pipeline provenance (tags, match "
+             "candidates, every resolution strategy, reason code)")
+    explain.add_argument("phrase", help="ingredient phrase to explain")
+    explain.add_argument(
+        "--context", action="append", default=[], metavar="LINE",
+        help="corpus line feeding the most-frequent-unit statistics "
+             "(repeatable; default: no corpus statistics)")
+    explain.add_argument("--top", type=int, default=5,
+                         help="description candidates to show (default 5)")
+    explain.set_defaults(func=_cmd_explain)
+
     batch = sub.add_parser(
         "batch", help="estimate a JSONL corpus via the batch pipeline")
     batch.add_argument("path", help="corpus written by `generate --out`")
@@ -309,6 +353,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="start coordinator and workers from a "
                             "build-artifact snapshot instead of "
                             "rebuilding the pipeline per process")
+    batch.add_argument("--reasons", action="store_true",
+                       help="append the corpus reason-code breakdown "
+                            "(Figure 2's name-vs-full gap by cause)")
     batch.set_defaults(func=_cmd_batch)
 
     serve_cmd = sub.add_parser(

@@ -7,21 +7,42 @@ derivation and fallbacks) -> per-ingredient nutrient arithmetic ->
 per-serving recipe profile.
 """
 
-from repro.core.coverage import CoverageHistogram, coverage_histogram
+from repro.core.coverage import (
+    CoverageHistogram,
+    ReasonBreakdown,
+    coverage_histogram,
+    reason_breakdown,
+    reason_breakdown_from_lines,
+)
 from repro.core.estimator import (
     IngredientEstimate,
     NutritionEstimator,
     ParsedIngredient,
     RecipeEstimate,
 )
+from repro.core.explain import LineExplanation, StageReport, explain_line
 from repro.core.profile import NutritionalProfile
+from repro.core.resolution import (
+    MATCH_FAILURE_REASONS,
+    RESOLUTION_REASONS,
+    run_unit_chain,
+)
 
 __all__ = [
     "CoverageHistogram",
     "coverage_histogram",
+    "ReasonBreakdown",
+    "reason_breakdown",
+    "reason_breakdown_from_lines",
     "IngredientEstimate",
     "NutritionEstimator",
     "ParsedIngredient",
     "RecipeEstimate",
     "NutritionalProfile",
+    "LineExplanation",
+    "StageReport",
+    "explain_line",
+    "MATCH_FAILURE_REASONS",
+    "RESOLUTION_REASONS",
+    "run_unit_chain",
 ]

@@ -10,9 +10,16 @@ matching the units".
 
 from __future__ import annotations
 
+from collections import Counter
+from collections.abc import Iterable
 from dataclasses import dataclass
 
-from repro.core.estimator import RecipeEstimate
+from repro.core.estimator import (
+    STATUS_FULL,
+    STATUS_NAME_ONLY,
+    IngredientEstimate,
+    RecipeEstimate,
+)
 
 #: Histogram bucket edges in percent; the last bucket is exactly 100%.
 BUCKETS: tuple[tuple[int, int], ...] = (
@@ -84,3 +91,149 @@ def coverage_histogram(
         )
         counts[_bucket_index(fraction * 100.0)] += 1
     return CoverageHistogram(counts=tuple(counts), total=len(estimates))
+
+
+# ----------------------------------------------------------------------
+# reason breakdown: Figure 2's name-vs-full gap, quantified by cause
+
+
+@dataclass(frozen=True, slots=True)
+class ReasonBreakdown:
+    """Per-reason line counts over a corpus.
+
+    Quantifies the gap between Figure 2's two series by cause: every
+    name-mapped-but-unit-unresolved line is attributed to the §II-C
+    mechanism that was responsible for it.  ``resolved_by`` counts
+    fully mapped lines by the strategy (reason code) that resolved
+    the unit; ``failed_by`` counts name-only lines by their *primary*
+    failure — the first ``"stage:outcome"`` event of the line's
+    trace, i.e. the first strategy that ran and failed;
+    ``unmatched_by`` counts lines that never reached unit resolution
+    (``no-name`` / ``no-description-match``); ``events`` tallies every
+    trace event over all lines (stage-level attempt frequencies).
+    """
+
+    total_lines: int
+    name_mapped: int
+    fully_mapped: int
+    resolved_by: dict[str, int]
+    failed_by: dict[str, int]
+    unmatched_by: dict[str, int]
+    events: dict[str, int]
+
+    @property
+    def unit_gap(self) -> int:
+        """Lines that matched a description but lost their unit."""
+        return self.name_mapped - self.fully_mapped
+
+    def render(self) -> str:
+        """Multi-section ASCII report."""
+
+        def pct(n: int, total: int) -> str:
+            return f"{100 * n / total:5.1f}%" if total else "    -"
+
+        total = self.total_lines
+        lines = [
+            f"lines: {total}   "
+            f"name-mapped: {self.name_mapped} ({pct(self.name_mapped, total).strip()})   "
+            f"fully-mapped: {self.fully_mapped} ({pct(self.fully_mapped, total).strip()})",
+            f"unit gap (Figure 2, name-vs-full): {self.unit_gap} line(s), "
+            f"{pct(self.unit_gap, total).strip()} of all lines",
+        ]
+
+        def section(title: str, counts: dict[str, int], denom: int) -> None:
+            if not counts:
+                return
+            lines.append("")
+            lines.append(title)
+            for key, count in sorted(
+                counts.items(), key=lambda item: (-item[1], item[0])
+            ):
+                lines.append(f"  {key:40} {count:7}  {pct(count, denom)}")
+
+        section("resolved by:", self.resolved_by, self.fully_mapped)
+        section("unit lost at (primary failure):", self.failed_by, self.unit_gap)
+        section("unmatched:", self.unmatched_by, total)
+        return "\n".join(lines)
+
+
+class ReasonTally:
+    """Incremental :class:`ReasonBreakdown` accumulator.
+
+    Memory is bounded by the reason-code vocabulary, never by corpus
+    size — streaming consumers (``repro batch --reasons`` over the
+    engine's lazy iterator) fold each estimate in as it arrives
+    instead of retaining the estimates.
+    """
+
+    __slots__ = (
+        "_total", "_name_mapped", "_fully_mapped",
+        "_resolved_by", "_failed_by", "_unmatched_by", "_events",
+    )
+
+    def __init__(self) -> None:
+        self._total = 0
+        self._name_mapped = 0
+        self._fully_mapped = 0
+        self._resolved_by: Counter[str] = Counter()
+        self._failed_by: Counter[str] = Counter()
+        self._unmatched_by: Counter[str] = Counter()
+        self._events: Counter[str] = Counter()
+
+    def add(self, estimate: IngredientEstimate, count: int = 1) -> None:
+        """Fold in one line, weighted by its occurrence *count*."""
+        self._total += count
+        for event in estimate.trace:
+            self._events[event] += count
+        if estimate.status == STATUS_FULL:
+            self._name_mapped += count
+            self._fully_mapped += count
+            self._resolved_by[estimate.reason] += count
+        elif estimate.status == STATUS_NAME_ONLY:
+            self._name_mapped += count
+            primary = estimate.trace[0] if estimate.trace else estimate.reason
+            self._failed_by[primary] += count
+        else:
+            self._unmatched_by[estimate.reason] += count
+
+    def add_recipe(self, estimate: RecipeEstimate) -> None:
+        """Fold in every ingredient line of one recipe estimate."""
+        for ingredient in estimate.ingredients:
+            self.add(ingredient)
+
+    def breakdown(self) -> ReasonBreakdown:
+        """The accumulated breakdown (snapshot; the tally keeps going)."""
+        return ReasonBreakdown(
+            total_lines=self._total,
+            name_mapped=self._name_mapped,
+            fully_mapped=self._fully_mapped,
+            resolved_by=dict(self._resolved_by),
+            failed_by=dict(self._failed_by),
+            unmatched_by=dict(self._unmatched_by),
+            events=dict(self._events),
+        )
+
+
+def reason_breakdown_from_lines(
+    pairs: Iterable[tuple[IngredientEstimate, int]]
+) -> ReasonBreakdown:
+    """Breakdown over ``(estimate, occurrence count)`` pairs.
+
+    The weighted form serves distinct-line tables (the corpus
+    protocol's working set): a line occurring N times contributes N to
+    every tally, so the result equals the per-occurrence breakdown of
+    the full corpus.
+    """
+    tally = ReasonTally()
+    for estimate, count in pairs:
+        tally.add(estimate, count)
+    return tally.breakdown()
+
+
+def reason_breakdown(estimates: Iterable[RecipeEstimate]) -> ReasonBreakdown:
+    """Breakdown over recipe estimates, one count per ingredient line."""
+    return reason_breakdown_from_lines(
+        (ingredient, 1)
+        for estimate in estimates
+        for ingredient in estimate.ingredients
+    )

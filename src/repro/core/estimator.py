@@ -25,12 +25,18 @@ from dataclasses import dataclass, field
 from typing import Protocol
 
 from repro.core.profile import NutritionalProfile
+from repro.core.resolution import (
+    REASON_NO_MATCH,
+    REASON_NO_NAME,
+    ChainResult,
+    run_unit_chain,
+)
 from repro.matching.matcher import DescriptionMatcher, MatcherConfig
 from repro.matching.types import MatchResult
 from repro.ner.rule_tagger import RuleBasedTagger
 from repro.recipedb.model import Recipe
 from repro.text.quantity import try_parse_quantity
-from repro.units.fallback import UnitFallback, scan_for_unit
+from repro.units.fallback import UnitFallback
 from repro.units.gram_weights import UnitResolution, UnitResolver
 from repro.text.tokenize import tokenize
 from repro.usda.database import NutrientDatabase, load_default_database
@@ -67,7 +73,16 @@ class ParsedIngredient:
 
 @dataclass(frozen=True, slots=True)
 class IngredientEstimate:
-    """Per-ingredient estimation outcome with full provenance."""
+    """Per-ingredient estimation outcome with full provenance.
+
+    ``reason`` names the :mod:`repro.core.resolution` strategy that
+    resolved the unit (status ``matched``), the last strategy that
+    failed (status ``name-only``), or the pre-unit failure
+    (``no-name`` / ``no-description-match``, status ``unmatched``).
+    ``trace`` is the compact chain of ``"stage:outcome"`` events for
+    the stages that ran.  Provenance rides alongside the estimate —
+    it never changes grams, profile or status.
+    """
 
     parsed: ParsedIngredient
     status: str
@@ -77,6 +92,8 @@ class IngredientEstimate:
     grams: float = 0.0
     profile: NutritionalProfile = field(default_factory=NutritionalProfile.zero)
     used_fallback_unit: bool = False
+    reason: str = ""
+    trace: tuple[str, ...] = ()
 
     @property
     def calories(self) -> float:
@@ -244,78 +261,37 @@ class NutritionEstimator:
             self._resolvers[ndb_no] = UnitResolver(self._db.get(ndb_no))
         return self._resolvers[ndb_no]
 
+    def resolver_for(self, ndb_no: str) -> UnitResolver:
+        """The memoized per-food unit resolver (explain surface hook)."""
+        return self._resolver(ndb_no)
+
     def _resolve_unit(
         self,
         parsed: ParsedIngredient,
         match: MatchResult,
         quantity: float,
         consult_fallback: bool = True,
-    ) -> tuple[UnitResolution | None, bool]:
-        """Unit resolution with the §II-C fallback chain.
+    ) -> ChainResult:
+        """Unit resolution with the §II-C strategy chain.
 
-        Returns (resolution, used_corpus_fallback).  With
-        ``consult_fallback=False`` the corpus-level most-frequent-unit
-        table is never consulted — the collect pass of the corpus
-        protocol uses this so each line's outcome depends only on the
-        line itself, never on processing order.
+        Thin binding of :func:`repro.core.resolution.run_unit_chain`
+        to this estimator's per-food resolvers and fallback table —
+        the chain order, skip rules (an NER-detected unit that fails
+        to resolve skips the phrase-scan and bare-count strategies;
+        see the :mod:`repro.core.resolution` docstring) and reason
+        codes all live there.  With ``consult_fallback=False`` the
+        corpus-level most-frequent-unit table is never consulted —
+        the collect pass of the corpus protocol uses this so each
+        line's outcome depends only on the line itself, never on
+        processing order.
         """
-        resolver = self._resolver(match.food.ndb_no)
-
-        # scan_for_unit is needed by up to two steps below; scan the
-        # phrase at most once per call.
-        scanned: str | None = None
-        scan_done = False
-
-        def scan() -> str | None:
-            nonlocal scanned, scan_done
-            if not scan_done:
-                scanned = scan_for_unit(parsed.text)
-                scan_done = True
-            return scanned
-
-        unit = parsed.unit or None
-        resolution = resolver.resolve(unit) if unit else None
-
-        # NER missed the unit: scan the raw phrase for a known one.
-        if resolution is None and unit is None:
-            if scan() is not None:
-                resolution = resolver.resolve(scan())
-
-        # Size entity doubles as a unit ("1 small onion").
-        if resolution is None and parsed.size:
-            resolution = resolver.resolve(parsed.size)
-
-        # Bare count ("2 eggs").
-        if resolution is None and not parsed.unit:
-            resolution = resolver.resolve(None)
-
-        # Plausibility threshold: "500 cups" style mis-detections.
-        if resolution is not None and not self._fallback.plausible(
-            quantity, resolution.grams_per_unit
-        ):
-            rescued = resolver.resolve(scan()) if scan() else None
-            if rescued is not None and self._fallback.plausible(
-                quantity, rescued.grams_per_unit
-            ):
-                resolution = rescued
-            else:
-                resolution = None
-
-        if resolution is not None:
-            return resolution, False
-        if not consult_fallback:
-            return None, False
-
-        # Last resort: the most frequent unit for this ingredient name
-        # across the corpus observed so far.
-        frequent = self._fallback.most_frequent_unit(parsed.name)
-        if frequent is not None:
-            rescued = resolver.resolve(frequent)
-            if rescued is not None and self._fallback.plausible(
-                quantity, rescued.grams_per_unit
-            ):
-                return rescued, True
-        return None, False
+        return run_unit_chain(
+            parsed,
+            self._resolver(match.food.ndb_no),
+            quantity,
+            self._fallback,
+            consult_fallback,
+        )
 
     # ------------------------------------------------------------------
     # per-ingredient estimate
@@ -340,27 +316,38 @@ class NutritionEstimator:
         """
         parsed = self._parse_cached(text)
         if not parsed.name:
-            return IngredientEstimate(parsed=parsed, status=STATUS_UNMATCHED)
+            return IngredientEstimate(
+                parsed=parsed,
+                status=STATUS_UNMATCHED,
+                reason=REASON_NO_NAME,
+                trace=(REASON_NO_NAME,),
+            )
         match = self._matcher.match(
             parsed.name, parsed.state, parsed.temperature, parsed.dry_fresh
         )
         if match is None:
-            return IngredientEstimate(parsed=parsed, status=STATUS_UNMATCHED)
+            return IngredientEstimate(
+                parsed=parsed,
+                status=STATUS_UNMATCHED,
+                reason=REASON_NO_MATCH,
+                trace=(REASON_NO_MATCH,),
+            )
 
         quantity = try_parse_quantity(parsed.quantity) if parsed.quantity else None
         if quantity is None:
             quantity = 1.0  # "salt to taste" and missing quantities
 
-        resolution, used_fallback = self._resolve_unit(
-            parsed, match, quantity, consult_fallback
-        )
-        if resolution is None:
+        outcome = self._resolve_unit(parsed, match, quantity, consult_fallback)
+        if outcome.resolution is None:
             return IngredientEstimate(
                 parsed=parsed,
                 status=STATUS_NAME_ONLY,
                 match=match,
                 quantity=quantity,
+                reason=outcome.reason,
+                trace=outcome.trace,
             )
+        resolution = outcome.resolution
         grams = quantity * resolution.grams_per_unit
         return IngredientEstimate(
             parsed=parsed,
@@ -370,7 +357,9 @@ class NutritionEstimator:
             quantity=quantity,
             grams=grams,
             profile=NutritionalProfile.from_food(match.food, grams),
-            used_fallback_unit=used_fallback,
+            used_fallback_unit=outcome.used_corpus_unit,
+            reason=outcome.reason,
+            trace=outcome.trace,
         )
 
     def estimate_ingredient(self, text: str) -> IngredientEstimate:

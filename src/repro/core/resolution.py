@@ -1,0 +1,569 @@
+"""The §II-C unit-resolution strategy chain, with reason codes.
+
+The paper's Figure 2 diagnostic — the gap between name-level and full
+mapping, "the main problem lies in matching the units" — is only
+actionable if one can ask *which* §II-C mechanism resolved or killed
+each line.  This module makes the fallback chain explicit: an ordered
+sequence of named strategies, each emitting a machine-readable reason
+code, driven by :func:`run_unit_chain`.
+
+Strategies, in the exact order the nested conditionals used to apply
+them (order is behaviour — changing it changes estimates):
+
+1. ``ner-unit`` — the NER-detected UNIT entity resolves against the
+   matched food's portions.  **If a NER unit is present but fails to
+   resolve, ``phrase-scan`` and ``bare-count`` never run** (the unit
+   text names a measure we do not know for this food; re-scanning the
+   phrase would just re-find it, and a bare count would contradict the
+   explicit measure).  ``size-as-unit`` still runs.
+2. ``phrase-scan`` — no NER unit: scan the raw phrase for a known
+   unit token ("In certain cases NER did not detect units ...").
+3. ``size-as-unit`` — the SIZE entity doubles as a unit
+   ("1 small onion").
+4. ``bare-count`` — no unit text at all: a bare quantity of the food
+   ("2 eggs").
+5. ``plausibility-rescue`` — a resolved candidate above the
+   grams-per-line threshold ("500 cups") is re-resolved from the
+   phrase scan; an implausible candidate without a plausible rescue
+   dies here.
+6. ``corpus-frequent-unit`` — the corpus-level most-frequent-unit
+   statistic for the ingredient name (the paper's garlic → clove
+   example), itself subject to the plausibility threshold.
+
+Every run produces a :class:`ChainResult` carrying the final
+``reason`` (the strategy that resolved the unit, or the last one that
+failed) and a compact ``trace`` of ``"stage:outcome"`` events for the
+stages that actually ran.  Event strings are interned in a module
+table so the hot path allocates no new strings; the verbose per-stage
+report behind ``repro explain`` / ``/v1/explain`` is produced by the
+same driver through an optional recorder, so the two surfaces cannot
+drift.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Protocol
+
+from repro.units.fallback import UnitFallback, scan_for_unit
+from repro.units.gram_weights import UnitResolution, UnitResolver
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core.estimator)
+    from repro.core.estimator import ParsedIngredient
+
+# ---------------------------------------------------------------------
+# reason codes (machine-readable; the docs table mirrors these)
+
+#: Unit resolved from the NER-detected UNIT entity.
+REASON_NER_UNIT = "ner-unit"
+#: Unit recovered by scanning the raw phrase for a known unit token.
+REASON_PHRASE_SCAN = "phrase-scan"
+#: The SIZE entity resolved as the unit ("1 small onion").
+REASON_SIZE_AS_UNIT = "size-as-unit"
+#: Bare quantity of the food ("2 eggs") via its first countable portion.
+REASON_BARE_COUNT = "bare-count"
+#: Initial candidate was implausible; the phrase-scanned unit rescued it.
+REASON_PLAUSIBILITY_RESCUE = "plausibility-rescue"
+#: Corpus-level most-frequent-unit statistic resolved the line.
+REASON_CORPUS_UNIT = "corpus-frequent-unit"
+#: Parse produced no NAME entity; the line never reached matching.
+REASON_NO_NAME = "no-name"
+#: No USDA-SR description shares a word with the parsed name.
+REASON_NO_MATCH = "no-description-match"
+
+#: Reasons that mean "unit resolved" (status ``matched``), in chain order.
+RESOLUTION_REASONS: tuple[str, ...] = (
+    REASON_NER_UNIT,
+    REASON_PHRASE_SCAN,
+    REASON_SIZE_AS_UNIT,
+    REASON_BARE_COUNT,
+    REASON_PLAUSIBILITY_RESCUE,
+    REASON_CORPUS_UNIT,
+)
+
+#: Reasons that kill a line before unit resolution (status ``unmatched``).
+MATCH_FAILURE_REASONS: tuple[str, ...] = (REASON_NO_NAME, REASON_NO_MATCH)
+
+# ---------------------------------------------------------------------
+# stage outcomes
+
+OUTCOME_RESOLVED = "resolved"
+#: The strategy ran but produced no unit text to resolve.
+OUTCOME_NO_UNIT = "no-unit"
+#: The strategy produced a unit, but the food has no gram weight for it.
+OUTCOME_UNRESOLVABLE = "unresolvable"
+#: The resolved (quantity, unit) pair exceeds the plausibility threshold.
+OUTCOME_IMPLAUSIBLE = "implausible"
+#: The food has no countable portion for a bare quantity.
+OUTCOME_NO_PORTION = "no-countable-portion"
+#: The corpus statistics have never seen this ingredient name.
+OUTCOME_NEVER_OBSERVED = "never-observed"
+#: Recorder-only outcome for stages the chain never ran.
+OUTCOME_SKIPPED = "skipped"
+
+#: Interned ``"stage:outcome"`` event strings — the hot path emits a
+#: bounded vocabulary, so every event is built exactly once.
+_EVENTS: dict[tuple[str, str], str] = {}
+#: Interned one-event trace tuples for the same vocabulary.  The
+#: common lines (one strategy, one outcome) take their whole trace
+#: from this table, so provenance costs zero allocations there.
+_EVENT_TUPLES: dict[tuple[str, str], tuple[str, ...]] = {}
+
+
+def trace_event(stage: str, outcome: str) -> str:
+    """The interned compact event string for (*stage*, *outcome*)."""
+    key = (stage, outcome)
+    event = _EVENTS.get(key)
+    if event is None:
+        event = _EVENTS[key] = f"{stage}:{outcome}"
+        _EVENT_TUPLES[key] = (event,)
+    return event
+
+
+def _event1(stage: str, outcome: str) -> tuple[str, ...]:
+    """The interned single-event trace tuple for (*stage*, *outcome*)."""
+    key = (stage, outcome)
+    single = _EVENT_TUPLES.get(key)
+    if single is None:
+        trace_event(stage, outcome)
+        single = _EVENT_TUPLES[key]
+    return single
+
+
+class ChainRecorder(Protocol):
+    """Verbose per-stage observer for the explain surface.
+
+    The driver calls :meth:`record` for **every** stage — including
+    skipped ones, which the compact trace omits — with a human-readable
+    detail string.  Recording must not affect the chain's outcome.
+    """
+
+    def record(
+        self,
+        stage: str,
+        outcome: str,
+        detail: str = "",
+        resolution: UnitResolution | None = None,
+    ) -> None:
+        ...
+
+
+class ResolutionContext:
+    """Per-line state shared by the chain's strategies.
+
+    Memoizes the raw-phrase unit scan: up to two stages
+    (``phrase-scan`` and ``plausibility-rescue``) need it, and the
+    tokenize-and-normalize walk must run at most once per line.
+    """
+
+    __slots__ = ("parsed", "resolver", "quantity", "_scanned", "_scan_done")
+
+    def __init__(
+        self,
+        parsed: "ParsedIngredient",
+        resolver: UnitResolver,
+        quantity: float,
+    ):
+        self.parsed = parsed
+        self.resolver = resolver
+        self.quantity = quantity
+        self._scanned: str | None = None
+        self._scan_done = False
+
+    def scan(self) -> str | None:
+        if not self._scan_done:
+            self._scanned = scan_for_unit(self.parsed.text)
+            self._scan_done = True
+        return self._scanned
+
+
+class UnitStrategy:
+    """One named candidate-producing step of the §II-C chain."""
+
+    __slots__ = ("reason", "describe")
+
+    def __init__(self, reason: str, describe: str):
+        self.reason = reason
+        self.describe = describe
+
+    def applies(self, ctx: ResolutionContext) -> bool:
+        raise NotImplementedError
+
+    def skip_detail(self, ctx: ResolutionContext) -> str:
+        raise NotImplementedError
+
+    def attempt(self, ctx: ResolutionContext) -> UnitResolution | None:
+        raise NotImplementedError
+
+    def failure(self, ctx: ResolutionContext) -> tuple[str, str]:
+        """(outcome, detail) after :meth:`attempt` returned ``None``."""
+        raise NotImplementedError
+
+
+class _NerUnit(UnitStrategy):
+    def applies(self, ctx):
+        return bool(ctx.parsed.unit)
+
+    def skip_detail(self, ctx):
+        return "NER detected no UNIT entity"
+
+    def attempt(self, ctx):
+        return ctx.resolver.resolve(ctx.parsed.unit)
+
+    def failure(self, ctx):
+        return (
+            OUTCOME_UNRESOLVABLE,
+            f"no gram weight for NER unit {ctx.parsed.unit!r} "
+            f"(phrase-scan and bare-count are skipped: the phrase "
+            f"names an explicit measure)",
+        )
+
+
+class _PhraseScan(UnitStrategy):
+    def applies(self, ctx):
+        return not ctx.parsed.unit
+
+    def skip_detail(self, ctx):
+        return "NER already detected a unit"
+
+    def attempt(self, ctx):
+        scanned = ctx.scan()
+        if scanned is None:
+            return None
+        return ctx.resolver.resolve(scanned)
+
+    def failure(self, ctx):
+        scanned = ctx.scan()
+        if scanned is None:
+            return OUTCOME_NO_UNIT, "no known unit token in the phrase"
+        return (
+            OUTCOME_UNRESOLVABLE,
+            f"scanned unit {scanned!r} has no gram weight for this food",
+        )
+
+
+class _SizeAsUnit(UnitStrategy):
+    def applies(self, ctx):
+        return bool(ctx.parsed.size)
+
+    def skip_detail(self, ctx):
+        return "no SIZE entity in the phrase"
+
+    def attempt(self, ctx):
+        return ctx.resolver.resolve(ctx.parsed.size)
+
+    def failure(self, ctx):
+        return (
+            OUTCOME_UNRESOLVABLE,
+            f"SIZE {ctx.parsed.size!r} has no gram weight for this food",
+        )
+
+
+class _BareCount(UnitStrategy):
+    def applies(self, ctx):
+        return not ctx.parsed.unit
+
+    def skip_detail(self, ctx):
+        return "NER already detected a unit"
+
+    def attempt(self, ctx):
+        return ctx.resolver.resolve(None)
+
+    def failure(self, ctx):
+        return OUTCOME_NO_PORTION, "food has no countable portion"
+
+
+#: The candidate-producing strategies, in application order.  The
+#: ``applies`` predicates encode the skip rules (see the module
+#: docstring); the driver runs each applicable strategy until one
+#: resolves.
+CANDIDATE_CHAIN: tuple[UnitStrategy, ...] = (
+    _NerUnit(REASON_NER_UNIT, "resolve the NER-detected UNIT entity"),
+    _PhraseScan(REASON_PHRASE_SCAN, "scan the raw phrase for a known unit"),
+    _SizeAsUnit(REASON_SIZE_AS_UNIT, "resolve the SIZE entity as a unit"),
+    _BareCount(REASON_BARE_COUNT, "bare count via the first countable portion"),
+)
+
+
+class ChainResult:
+    """Outcome of one :func:`run_unit_chain` run."""
+
+    __slots__ = ("resolution", "reason", "trace", "used_corpus_unit")
+
+    def __init__(
+        self,
+        resolution: UnitResolution | None,
+        reason: str,
+        trace: tuple[str, ...],
+        used_corpus_unit: bool,
+    ):
+        self.resolution = resolution
+        self.reason = reason
+        self.trace = trace
+        self.used_corpus_unit = used_corpus_unit
+
+
+# Precomputed trace atoms for the fused fast path below: one interned
+# tuple per (stage, outcome) the chain can emit.
+_T_NER_UNRESOLVABLE = _event1(REASON_NER_UNIT, OUTCOME_UNRESOLVABLE)
+_T_SCAN_NO_UNIT = _event1(REASON_PHRASE_SCAN, OUTCOME_NO_UNIT)
+_T_SCAN_UNRESOLVABLE = _event1(REASON_PHRASE_SCAN, OUTCOME_UNRESOLVABLE)
+_T_SIZE_UNRESOLVABLE = _event1(REASON_SIZE_AS_UNIT, OUTCOME_UNRESOLVABLE)
+_T_BARE_NO_PORTION = _event1(REASON_BARE_COUNT, OUTCOME_NO_PORTION)
+_T_RESCUE_UNRESOLVABLE = _event1(
+    REASON_PLAUSIBILITY_RESCUE, OUTCOME_UNRESOLVABLE
+)
+_T_CORPUS_NEVER = _event1(REASON_CORPUS_UNIT, OUTCOME_NEVER_OBSERVED)
+_T_CORPUS_UNRESOLVABLE = _event1(REASON_CORPUS_UNIT, OUTCOME_UNRESOLVABLE)
+_T_CORPUS_IMPLAUSIBLE = _event1(REASON_CORPUS_UNIT, OUTCOME_IMPLAUSIBLE)
+_T_CORPUS_RESOLVED = _event1(REASON_CORPUS_UNIT, OUTCOME_RESOLVED)
+_T_RESOLVED: dict[str, tuple[str, ...]] = {
+    reason: _event1(reason, OUTCOME_RESOLVED)
+    for reason in RESOLUTION_REASONS
+}
+_T_IMPLAUSIBLE: dict[str, tuple[str, ...]] = {
+    reason: _event1(reason, OUTCOME_IMPLAUSIBLE)
+    for reason in RESOLUTION_REASONS
+}
+
+
+def _run_chain_fast(
+    parsed: "ParsedIngredient",
+    resolver: UnitResolver,
+    quantity: float,
+    fallback: UnitFallback,
+    consult_fallback: bool,
+) -> ChainResult:
+    """The recorder-free chain, fused into straight-line code.
+
+    Estimation runs this for every ingredient line, so the strategy
+    dispatch of the declarative driver is hand-inlined here: same
+    strategies, same order, same skip rules, emitting the same interned
+    reason/trace atoms — at the cost of the old nested-conditional
+    shape.  The declarative driver below remains the specification
+    (and the explain surface); ``run_unit_chain`` routes to it whenever
+    a recorder is attached, and
+    ``tests/test_core_resolution.py::TestFastPathEquivalence`` asserts
+    the two produce identical :class:`ChainResult`\\ s over a corpus,
+    so they cannot drift apart silently.
+    """
+    unit = parsed.unit or None
+    scanned: str | None = None
+    scan_done = False
+    trace: tuple[str, ...] = ()
+
+    # 1. ner-unit (failure skips phrase-scan and bare-count) /
+    # 2. phrase-scan (only when NER produced no unit).
+    if unit is not None:
+        resolution = resolver.resolve(unit)
+        reason = REASON_NER_UNIT
+        if resolution is None:
+            trace = _T_NER_UNRESOLVABLE
+    else:
+        scanned = scan_for_unit(parsed.text)
+        scan_done = True
+        reason = REASON_PHRASE_SCAN
+        if scanned is None:
+            resolution = None
+            trace = _T_SCAN_NO_UNIT
+        else:
+            resolution = resolver.resolve(scanned)
+            if resolution is None:
+                trace = _T_SCAN_UNRESOLVABLE
+
+    # 3. size-as-unit.
+    if resolution is None and parsed.size:
+        resolution = resolver.resolve(parsed.size)
+        reason = REASON_SIZE_AS_UNIT
+        if resolution is None:
+            trace = trace + _T_SIZE_UNRESOLVABLE
+
+    # 4. bare-count (only when NER produced no unit).
+    if resolution is None and unit is None:
+        resolution = resolver.resolve(None)
+        reason = REASON_BARE_COUNT
+        if resolution is None:
+            trace = trace + _T_BARE_NO_PORTION
+
+    # 5. plausibility gate + rescue.
+    if resolution is not None and not fallback.plausible(
+        quantity, resolution.grams_per_unit
+    ):
+        event = _T_IMPLAUSIBLE[reason]
+        trace = event if not trace else trace + event
+        if not scan_done:
+            scanned = scan_for_unit(parsed.text)
+            scan_done = True
+        rescued = resolver.resolve(scanned) if scanned else None
+        reason = REASON_PLAUSIBILITY_RESCUE
+        if rescued is not None and fallback.plausible(
+            quantity, rescued.grams_per_unit
+        ):
+            resolution = rescued
+        else:
+            resolution = None
+            trace = trace + _T_RESCUE_UNRESOLVABLE
+
+    if resolution is not None:
+        event = _T_RESOLVED[reason]
+        return ChainResult(
+            resolution, reason, event if not trace else trace + event, False
+        )
+    if not consult_fallback:
+        return ChainResult(None, reason, trace, False)
+
+    # 6. corpus-frequent-unit.
+    frequent = fallback.most_frequent_unit(parsed.name)
+    if frequent is None:
+        trace = trace + _T_CORPUS_NEVER
+        return ChainResult(None, REASON_CORPUS_UNIT, trace, False)
+    rescued = resolver.resolve(frequent)
+    if rescued is not None and fallback.plausible(
+        quantity, rescued.grams_per_unit
+    ):
+        trace = trace + _T_CORPUS_RESOLVED
+        return ChainResult(rescued, REASON_CORPUS_UNIT, trace, True)
+    trace = trace + (
+        _T_CORPUS_UNRESOLVABLE if rescued is None else _T_CORPUS_IMPLAUSIBLE
+    )
+    return ChainResult(None, REASON_CORPUS_UNIT, trace, False)
+
+
+def run_unit_chain(
+    parsed: "ParsedIngredient",
+    resolver: UnitResolver,
+    quantity: float,
+    fallback: UnitFallback,
+    consult_fallback: bool = True,
+    recorder: ChainRecorder | None = None,
+) -> ChainResult:
+    """Run the full §II-C strategy chain for one parsed line.
+
+    Pure given its arguments: the outcome depends only on *parsed*,
+    the resolver's food, *quantity* and the state of *fallback* — the
+    order-independence the two-phase corpus protocol builds on.  With
+    ``consult_fallback=False`` the ``corpus-frequent-unit`` strategy
+    never runs (the collect pass uses this so each line's outcome is
+    independent of corpus order).  *recorder*, when given, receives a
+    verbose event for every stage, including skipped ones; it never
+    changes the result.
+
+    Without a recorder the call takes :func:`_run_chain_fast`, the
+    allocation-light fused form of the identical chain (equivalence is
+    test-enforced); with one, the declarative driver below walks
+    :data:`CANDIDATE_CHAIN` strategy by strategy.
+    """
+    if recorder is None:
+        return _run_chain_fast(
+            parsed, resolver, quantity, fallback, consult_fallback
+        )
+    # From here on a recorder is always attached — the recorder-free
+    # case took the fast path above.
+    ctx = ResolutionContext(parsed, resolver, quantity)
+    # The trace accumulates by concatenating interned one-event tuples
+    # (identical atoms to the fast path).
+    trace: tuple[str, ...] = ()
+    resolution: UnitResolution | None = None
+    reason = REASON_NER_UNIT  # overwritten by the first applicable stage
+
+    for position, strategy in enumerate(CANDIDATE_CHAIN):
+        if not strategy.applies(ctx):
+            recorder.record(
+                strategy.reason, OUTCOME_SKIPPED, strategy.skip_detail(ctx)
+            )
+            continue
+        resolution = strategy.attempt(ctx)
+        reason = strategy.reason
+        if resolution is not None:
+            for later in CANDIDATE_CHAIN[position + 1 :]:
+                recorder.record(
+                    later.reason,
+                    OUTCOME_SKIPPED,
+                    f"{strategy.reason} already produced a candidate",
+                )
+            break
+        outcome, detail = strategy.failure(ctx)
+        event = _event1(strategy.reason, outcome)
+        trace = event if not trace else trace + event
+        recorder.record(strategy.reason, outcome, detail)
+
+    # Plausibility gate + rescue over whichever candidate won above.
+    if resolution is not None and not fallback.plausible(
+        quantity, resolution.grams_per_unit
+    ):
+        event = _event1(reason, OUTCOME_IMPLAUSIBLE)
+        trace = event if not trace else trace + event
+        recorder.record(
+            reason,
+            OUTCOME_IMPLAUSIBLE,
+            f"{quantity:g} x {resolution.grams_per_unit:g} g/unit "
+            f"exceeds the {fallback.max_grams:g} g threshold",
+            resolution,
+        )
+        rescued = ctx.resolver.resolve(ctx.scan()) if ctx.scan() else None
+        if rescued is not None and fallback.plausible(
+            quantity, rescued.grams_per_unit
+        ):
+            resolution = rescued
+            reason = REASON_PLAUSIBILITY_RESCUE
+        else:
+            resolution = None
+            reason = REASON_PLAUSIBILITY_RESCUE
+            trace = trace + _event1(
+                REASON_PLAUSIBILITY_RESCUE, OUTCOME_UNRESOLVABLE
+            )
+            recorder.record(
+                REASON_PLAUSIBILITY_RESCUE,
+                OUTCOME_UNRESOLVABLE,
+                "no plausible phrase-scanned unit to rescue with",
+            )
+
+    if resolution is not None:
+        event = _event1(reason, OUTCOME_RESOLVED)
+        trace = event if not trace else trace + event
+        recorder.record(reason, OUTCOME_RESOLVED, "unit resolved", resolution)
+        return ChainResult(resolution, reason, trace, False)
+
+    if not consult_fallback:
+        recorder.record(
+            REASON_CORPUS_UNIT,
+            OUTCOME_SKIPPED,
+            "corpus statistics not consulted (collect pass)",
+        )
+        return ChainResult(None, reason, trace, False)
+
+    # Last resort: the corpus-level most-frequent-unit statistic.
+    reason = REASON_CORPUS_UNIT
+    frequent = fallback.most_frequent_unit(parsed.name)
+    if frequent is None:
+        trace = trace + _T_CORPUS_NEVER
+        recorder.record(
+            REASON_CORPUS_UNIT,
+            OUTCOME_NEVER_OBSERVED,
+            f"no unit ever observed for {parsed.name!r}",
+        )
+        return ChainResult(None, reason, trace, False)
+    rescued = resolver.resolve(frequent)
+    if rescued is not None and fallback.plausible(
+        quantity, rescued.grams_per_unit
+    ):
+        trace = trace + _T_CORPUS_RESOLVED
+        recorder.record(
+            REASON_CORPUS_UNIT,
+            OUTCOME_RESOLVED,
+            f"most frequent unit for {parsed.name!r} is {frequent!r}",
+            rescued,
+        )
+        return ChainResult(rescued, reason, trace, True)
+    if rescued is None:
+        outcome = OUTCOME_UNRESOLVABLE
+        detail = f"frequent unit {frequent!r} has no gram weight for this food"
+    else:
+        outcome = OUTCOME_IMPLAUSIBLE
+        detail = (
+            f"frequent unit {frequent!r} resolves but "
+            f"{quantity:g} x {rescued.grams_per_unit:g} g/unit exceeds "
+            f"the {fallback.max_grams:g} g threshold"
+        )
+    trace = trace + _event1(REASON_CORPUS_UNIT, outcome)
+    recorder.record(REASON_CORPUS_UNIT, outcome, detail, rescued)
+    return ChainResult(None, reason, trace, False)

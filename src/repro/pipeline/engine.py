@@ -43,6 +43,7 @@ from collections.abc import Callable, Iterable, Iterator, Sequence
 from itertools import islice
 from pathlib import Path
 
+from repro.core.coverage import ReasonBreakdown, reason_breakdown_from_lines
 from repro.core.estimator import (
     STATUS_NAME_ONLY,
     IngredientEstimate,
@@ -247,6 +248,25 @@ class ShardedCorpusEstimator:
                 [estimates[text] for text in recipe.ingredient_texts],
                 recipe.servings,
             )
+
+    def corpus_diagnostics(self, source: CorpusSource) -> ReasonBreakdown:
+        """Reason-code breakdown over a whole corpus (Figure 2 by cause).
+
+        Runs the two-phase protocol over the corpus's distinct-line
+        table (sharded at ``workers > 1`` — reason codes and traces
+        ship bit-identically through the wire codec) and attributes
+        every line, weighted by occurrence count, to the §II-C
+        strategy that resolved or killed it.
+        """
+        counts = Counter(
+            text
+            for recipe in self._stream(source)
+            for text in recipe.ingredient_texts
+        )
+        table = self.estimate_table(counts)
+        return reason_breakdown_from_lines(
+            (table[text], count) for text, count in counts.items()
+        )
 
     # ------------------------------------------------------------------
     # execution backends

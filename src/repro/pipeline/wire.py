@@ -13,7 +13,11 @@ The codec is therefore stock (C-speed) pickle with a
 receiving side's database.  Everything else — parsed tokens, match
 word sets, the 30-float profile — round-trips through pickle
 unchanged, so ``loads_estimates(dumps_estimates(x, db), db) == x``
-field-for-field with zero hand-maintained field lists.
+field-for-field with zero hand-maintained field lists.  That includes
+provenance: the ``reason`` / ``trace`` fields added by the resolution
+strategy chain travel bit-identically without codec changes, which is
+what lets sharded workers ship per-line diagnostics to the
+coordinator for corpus-level reason breakdowns.
 """
 
 from __future__ import annotations

@@ -27,6 +27,7 @@ import json
 from dataclasses import dataclass
 
 from repro.core.estimator import IngredientEstimate, ParsedIngredient, RecipeEstimate
+from repro.core.explain import LineExplanation
 from repro.matching.types import MatchResult
 from repro.service.errors import ValidationError
 
@@ -38,6 +39,11 @@ MAX_RECIPES_PER_BATCH = 5000
 MAX_PHRASE_CHARS = 500
 MAX_SERVINGS = 1000
 MAX_TOP = 50
+#: Context lines one ``/v1/explain`` request may feed the
+#: most-frequent-unit statistics.
+MAX_EXPLAIN_CONTEXT = 300
+#: Default candidate-list depth for ``/v1/explain``.
+DEFAULT_EXPLAIN_TOP = 5
 
 
 @dataclass(frozen=True, slots=True)
@@ -71,6 +77,15 @@ class ParseRequest:
     """Validated ``/v1/parse`` payload."""
 
     text: str
+
+
+@dataclass(frozen=True, slots=True)
+class ExplainRequest:
+    """Validated ``/v1/explain`` payload."""
+
+    text: str
+    context: tuple[str, ...]
+    top: int
 
 
 # ----------------------------------------------------------------------
@@ -227,6 +242,39 @@ def validate_parse(payload) -> ParseRequest:
     return ParseRequest(text=text)
 
 
+def validate_explain(payload) -> ExplainRequest:
+    """``{"text": str, "context"?: [str, ...], "top"?: int}`` -> request."""
+    payload = _require_object(payload, "(body)")
+    _reject_unknown_keys(
+        payload, frozenset({"text", "context", "top"}), "(body)"
+    )
+    if "text" not in payload:
+        raise ValidationError("missing required key 'text'", field="(body)")
+    text = _string(payload["text"], "text").strip()
+    if not text:
+        raise ValidationError("must be a non-empty string", field="text")
+    raw_context = payload.get("context", [])
+    if not isinstance(raw_context, list):
+        raise ValidationError(
+            f"expected a list, got {type(raw_context).__name__}",
+            field="context",
+        )
+    if len(raw_context) > MAX_EXPLAIN_CONTEXT:
+        raise ValidationError(
+            f"too many context lines ({len(raw_context)} > "
+            f"{MAX_EXPLAIN_CONTEXT})",
+            field="context",
+        )
+    context = tuple(
+        _string(line, f"context[{i}]").strip()
+        for i, line in enumerate(raw_context)
+    )
+    top = _int(
+        payload.get("top", DEFAULT_EXPLAIN_TOP), "top", lo=0, hi=MAX_TOP
+    )
+    return ExplainRequest(text=text, context=context, top=top)
+
+
 # ----------------------------------------------------------------------
 # cache keys
 
@@ -305,6 +353,8 @@ def encode_ingredient_estimate(estimate: IngredientEstimate) -> dict:
         "grams": estimate.grams,
         "calories": estimate.calories,
         "used_fallback_unit": estimate.used_fallback_unit,
+        "reason": estimate.reason,
+        "trace": list(estimate.trace),
         "profile": dict(estimate.profile.values),
         "parsed": encode_parsed(estimate.parsed),
     }
@@ -321,6 +371,36 @@ def encode_recipe_estimate(estimate: RecipeEstimate) -> dict:
         "ingredients": [
             encode_ingredient_estimate(item) for item in estimate.ingredients
         ],
+    }
+
+
+def encode_explanation(explanation: LineExplanation) -> dict:
+    """A full line explanation (the ``/v1/explain`` response body)."""
+    match_explanation = explanation.match_explanation
+    candidates = []
+    query_words: list[str] = []
+    if match_explanation is not None:
+        candidates = [encode_match(c) for c in match_explanation.candidates]
+        query_words = sorted(match_explanation.query_words)
+    return {
+        "text": explanation.text,
+        "status": explanation.estimate.status,
+        "reason": explanation.estimate.reason,
+        "trace": list(explanation.estimate.trace),
+        "estimate": encode_ingredient_estimate(explanation.estimate),
+        "match_query_words": query_words,
+        "candidates": candidates,
+        "stages": [
+            {
+                "stage": report.stage,
+                "outcome": report.outcome,
+                "detail": report.detail,
+                "unit": report.unit,
+                "grams_per_unit": report.grams_per_unit,
+            }
+            for report in explanation.stages
+        ],
+        "context_lines": explanation.context_lines,
     }
 
 

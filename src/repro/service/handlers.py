@@ -8,11 +8,12 @@ contract (any :class:`ServiceError` becomes its JSON envelope;
 anything else becomes a generic 500 so tracebacks never leak to
 clients).
 
-Cacheable endpoints (the four ``POST /v1/*`` ones) are looked up in /
-stored to the response cache as **serialized bytes**: a hit skips
-validation-to-encoding entirely and the server writes the bytes
-straight to the socket.  ``/healthz`` and ``/metrics`` are never
-cached.
+Cacheable endpoints (the five ``POST /v1/*`` ones — ``/v1/explain``
+included, whose response is a pure function of its payload) are
+looked up in / stored to the response cache as **serialized bytes**:
+a hit skips validation-to-encoding entirely and the server writes the
+bytes straight to the socket.  ``/healthz`` and ``/metrics`` are
+never cached.
 """
 
 from __future__ import annotations
@@ -86,6 +87,11 @@ ENDPOINTS: dict[tuple[str, str], Endpoint] = {
     ("POST", "/v1/parse"): Endpoint(
         validate=codec.validate_parse,
         invoke=lambda state, request: state.parse(request),
+        cacheable=True,
+    ),
+    ("POST", "/v1/explain"): Endpoint(
+        validate=codec.validate_explain,
+        invoke=lambda state, request: state.explain(request),
         cacheable=True,
     ),
 }

@@ -12,7 +12,8 @@ from __future__ import annotations
 
 import threading
 import time
-from collections import deque
+from collections import Counter, deque
+from collections.abc import Iterable
 
 #: Latency samples kept per endpoint.  Percentiles describe the recent
 #: window, not service lifetime, so a long-running instance reflects
@@ -66,6 +67,12 @@ class ServiceMetrics:
         self._lock = threading.Lock()
         self._started_monotonic = time.monotonic()
         self._endpoints: dict[str, _EndpointMetrics] = {}
+        # Per-reason-code line counters (resolution provenance).  The
+        # vocabulary is the bounded reason-code set of
+        # repro.core.resolution, so the registry cannot grow with
+        # traffic.
+        self._reasons: Counter[str] = Counter()
+        self._reason_lines = 0
 
     def observe(
         self,
@@ -87,6 +94,23 @@ class ServiceMetrics:
                 metrics.cache_hits += 1
             metrics.latencies.append(latency_s * 1000.0)
 
+    def observe_reasons(self, reasons: Iterable[str]) -> None:
+        """Record the reason code of every estimated ingredient line.
+
+        Called by the estimation endpoints with one reason per line of
+        the request (cache hits skip the pipeline and therefore do not
+        re-count).  ``/metrics`` exposes the tallies under ``reasons``.
+        The iterable is tallied *before* taking the lock — a batch
+        request can carry a million lines, and only the merge of the
+        (bounded-vocabulary) local counter needs mutual exclusion.
+        """
+        tallied = Counter(reasons)
+        if not tallied:
+            return
+        with self._lock:
+            self._reasons.update(tallied)
+            self._reason_lines += sum(tallied.values())
+
     @property
     def uptime_s(self) -> float:
         return time.monotonic() - self._started_monotonic
@@ -102,6 +126,10 @@ class ServiceMetrics:
                 name: metrics.snapshot()
                 for name, metrics in sorted(self._endpoints.items())
             }
+            reasons = {
+                "lines_total": self._reason_lines,
+                "by_reason": dict(sorted(self._reasons.items())),
+            }
         return {
             "uptime_s": round(self.uptime_s, 3),
             "requests_total": sum(e["requests"] for e in endpoints.values()),
@@ -110,4 +138,5 @@ class ServiceMetrics:
                 e["cache_hits"] for e in endpoints.values()
             ),
             "endpoints": endpoints,
+            "reasons": reasons,
         }

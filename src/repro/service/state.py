@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 
 from repro import __version__
 from repro.core.estimator import NutritionEstimator
+from repro.core.explain import explain_line
 from repro.pipeline.engine import ShardedCorpusEstimator
 from repro.pipeline.spec import EstimatorSpec
 from repro.service import codec
@@ -196,6 +197,9 @@ class ServiceState:
         counts = dict(Counter(request.ingredients))
         with self._estimator_lock:
             table = self._estimator.corpus_estimate_table(counts)
+        self.metrics.observe_reasons(
+            table[text].reason for text in request.ingredients
+        )
         recipe = NutritionEstimator.finish_recipe(
             [table[text] for text in request.ingredients], request.servings
         )
@@ -218,6 +222,11 @@ class ServiceState:
             )
         )
         table = self._estimate_table(counts)
+        self.metrics.observe_reasons(
+            table[text].reason
+            for recipe in request.recipes
+            for text in recipe.ingredients
+        )
         finish = NutritionEstimator.finish_recipe
         return {
             "count": len(request.recipes),
@@ -269,6 +278,25 @@ class ServiceState:
         with self._estimator_lock:
             parsed = self._estimator.parse(request.text)
         return codec.encode_parsed(parsed)
+
+    def explain(self, request: codec.ExplainRequest) -> dict:
+        """``/v1/explain``: full pipeline provenance for one phrase.
+
+        Deterministic in the payload: the corpus-frequent-unit stage
+        reads statistics collected from the request's ``context``
+        lines only, never the warm estimator's live table (see
+        :func:`repro.core.explain.explain_line`), which is what keeps
+        the endpoint cacheable.
+        """
+        with self._estimator_lock:
+            explanation = explain_line(
+                self._estimator,
+                request.text,
+                context=request.context,
+                k=request.top,
+            )
+        self.metrics.observe_reasons((explanation.estimate.reason,))
+        return codec.encode_explanation(explanation)
 
     # ------------------------------------------------------------------
     # introspection endpoints

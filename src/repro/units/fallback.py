@@ -16,6 +16,7 @@ garbled one:
 from __future__ import annotations
 
 from collections import Counter, defaultdict
+from functools import lru_cache
 
 from repro.text.tokenize import tokenize
 from repro.units.aliases import canonicalize_unit
@@ -28,6 +29,24 @@ from repro.units.normalize import normalize_unit
 DEFAULT_MAX_GRAMS: float = 5000.0
 
 
+@lru_cache(maxsize=8192)
+def _scan_token_unit(token: str) -> str | None:
+    """Canonical unit for one alphabetic token, for the phrase scan.
+
+    A token counts only if its raw lower-cased spelling is itself a
+    known unit alias (precision guard: "cup" scans, a lemmatizable
+    near-miss does not) *and* the full normalization pipeline maps it
+    to a canonical unit.  The cheap dict-membership guard runs first —
+    it rejects most tokens without paying ``normalize_unit``'s
+    regex + lemmatizer walk — and the result is memoized per token:
+    corpus vocabulary is small and Zipf-distributed, so the scan's per
+    -token work collapses to one cache hit for all repeat tokens.
+    """
+    if canonicalize_unit(token.lower()) is None:
+        return None
+    return normalize_unit(token)
+
+
 def scan_for_unit(phrase: str) -> str | None:
     """Find the first known unit token inside a raw ingredient phrase.
 
@@ -37,8 +56,8 @@ def scan_for_unit(phrase: str) -> str | None:
     for token in tokenize(phrase):
         if not token.isalpha():
             continue
-        unit = normalize_unit(token)
-        if unit is not None and canonicalize_unit(token.lower()) is not None:
+        unit = _scan_token_unit(token)
+        if unit is not None:
             return unit
     return None
 

@@ -84,6 +84,45 @@ class TestSingleProcessParity:
             )
 
 
+class TestReasonCodeParity:
+    """ISSUE 5 satellite: artifact round-trips are unaffected by the
+    strategy-chain refactor — restored matcher/resolver components
+    produce identical reason codes and traces to freshly built ones."""
+
+    def test_reason_codes_identical_over_corpus(
+        self, corpus, artifact_path, fresh_estimates
+    ):
+        loaded = load_artifact(artifact_path).build_estimator()
+        restored = loaded.estimate_corpus(corpus)
+        reasons = set()
+        for ours, reference in zip(restored, fresh_estimates):
+            for a, b in zip(ours.ingredients, reference.ingredients):
+                assert a.reason == b.reason
+                assert a.trace == b.trace
+                reasons.add(a.reason)
+        assert len(reasons) >= 3  # several strategies actually exercised
+
+    def test_restored_resolver_drives_identical_chain(self, artifact_path):
+        """The chain consumes UnitResolver.from_parts output directly:
+        run it against restored and fresh resolvers for the same food
+        and line, including a failing line, and compare traces."""
+        from repro.core.explain import explain_line
+
+        fresh = NutritionEstimator()
+        loaded = load_artifact(artifact_path).build_estimator()
+        for text, context in [
+            ("2 cups all-purpose flour", ()),
+            ("1 (15 ounce) can black beans", ()),
+            ("500 cups water", ()),
+            ("1 head butter cup", ("2 tablespoons butter",)),
+        ]:
+            ours = explain_line(loaded, text, context=context)
+            reference = explain_line(fresh, text, context=context)
+            assert ours.estimate == reference.estimate
+            assert ours.stages == reference.stages
+            assert ours.render() == reference.render()
+
+
 class TestShardedEngineParity:
     @pytest.mark.parametrize("workers", [1, 2])
     def test_engine_from_artifact_matches_fresh_build(

@@ -54,6 +54,36 @@ class TestMatch:
         assert "decided by" in out
 
 
+class TestExplain:
+    def test_explain_resolved_line(self, capsys):
+        code = main(["explain", "2 cups all-purpose flour"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "verdict: status=matched reason=ner-unit" in out
+        assert "winner:" in out
+        assert "unit resolution chain" in out
+        assert "trace: ner-unit:resolved" in out
+
+    def test_explain_context_rescue(self, capsys):
+        code = main([
+            "explain", "1 head butter cup",
+            "--context", "2 tablespoons butter",
+            "--context", "1 tablespoon butter , melted",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "statistics from 2 context line(s)" in out
+        assert "reason=corpus-frequent-unit" in out
+
+    def test_explain_unresolved_exit_code(self, capsys):
+        assert main(["explain", "2 teaspoons garam masala"]) == 1
+        assert "no-description-match" in capsys.readouterr().out
+
+    def test_explain_rejects_bad_top(self, capsys):
+        assert main(["explain", "x", "--top", "-1"]) == 2
+        assert "--top must be >= 0" in capsys.readouterr().out
+
+
 class TestGenerate:
     def test_prints_recipes(self, capsys):
         code = main(["generate", "--recipes", "2"])
@@ -163,6 +193,29 @@ class TestBatch:
         capsys.readouterr()
         assert main(["batch", str(path), "--jsonl", "--passes", "3"]) == 0
         assert "--passes 3 is ignored" in capsys.readouterr().out
+
+    def test_batch_reasons_breakdown(self, tmp_path, capsys):
+        path = tmp_path / "corpus.jsonl"
+        main(["generate", "--recipes", "4", "--out", str(path)])
+        capsys.readouterr()
+        assert main(["batch", str(path), "--reasons"]) == 0
+        out = capsys.readouterr().out
+        assert "reason-code breakdown:" in out
+        assert "unit gap (Figure 2" in out
+        assert "resolved by:" in out
+
+    def test_batch_reasons_identical_across_engine_modes(
+        self, tmp_path, capsys
+    ):
+        path = tmp_path / "corpus.jsonl"
+        main(["generate", "--recipes", "5", "--out", str(path)])
+        capsys.readouterr()
+        main(["batch", str(path), "--reasons"])
+        classic = capsys.readouterr().out
+        main(["batch", str(path), "--reasons", "--workers", "2"])
+        sharded = capsys.readouterr().out
+        tail = "reason-code breakdown:"
+        assert classic.split(tail)[1] == sharded.split(tail)[1]
 
     def test_batch_rejects_bad_workers(self, tmp_path, capsys):
         path = tmp_path / "corpus.jsonl"

@@ -8,6 +8,8 @@ from repro.core.coverage import (
     CoverageHistogram,
     _bucket_index,
     coverage_histogram,
+    reason_breakdown,
+    reason_breakdown_from_lines,
 )
 from repro.core.estimator import (
     IngredientEstimate,
@@ -28,6 +30,13 @@ def _estimate(statuses):
     zero = NutritionalProfile.zero()
     return RecipeEstimate(ingredients=ingredients, servings=1,
                           total=zero, per_serving=zero)
+
+
+def _line(status, reason, trace):
+    parsed = ParsedIngredient("x", ("x",), ("NAME",), "x", "", "", "", "", "", "")
+    return IngredientEstimate(
+        parsed=parsed, status=status, reason=reason, trace=trace
+    )
 
 
 class TestBucketIndex:
@@ -97,3 +106,98 @@ class TestHistogram:
     def test_wrong_bucket_count_rejected(self):
         with pytest.raises(ValueError):
             CoverageHistogram(counts=(1, 2), total=3)
+
+
+class TestReasonBreakdown:
+    def test_counts_by_reason_and_primary_failure(self):
+        lines = [
+            (_line(STATUS_FULL, "ner-unit", ("ner-unit:resolved",)), 3),
+            (_line(STATUS_FULL, "bare-count",
+                   ("phrase-scan:no-unit", "bare-count:resolved")), 2),
+            (_line(STATUS_NAME_ONLY, "corpus-frequent-unit",
+                   ("ner-unit:unresolvable",
+                    "corpus-frequent-unit:never-observed")), 4),
+            (_line(STATUS_UNMATCHED, "no-description-match",
+                   ("no-description-match",)), 1),
+        ]
+        breakdown = reason_breakdown_from_lines(lines)
+        assert breakdown.total_lines == 10
+        assert breakdown.name_mapped == 9
+        assert breakdown.fully_mapped == 5
+        assert breakdown.unit_gap == 4
+        assert breakdown.resolved_by == {"ner-unit": 3, "bare-count": 2}
+        # name-only lines attribute to the *first* failing event
+        assert breakdown.failed_by == {"ner-unit:unresolvable": 4}
+        assert breakdown.unmatched_by == {"no-description-match": 1}
+        assert breakdown.events["phrase-scan:no-unit"] == 2
+        assert breakdown.events["corpus-frequent-unit:never-observed"] == 4
+
+    def test_incremental_tally_equals_batch_breakdown(self):
+        from repro.core.coverage import ReasonTally
+
+        full = _line(STATUS_FULL, "ner-unit", ("ner-unit:resolved",))
+        name_only = _line(STATUS_NAME_ONLY, "corpus-frequent-unit",
+                          ("ner-unit:unresolvable",
+                           "corpus-frequent-unit:never-observed"))
+        zero = NutritionalProfile.zero()
+        recipes = [
+            RecipeEstimate(ingredients=(full, name_only), servings=1,
+                           total=zero, per_serving=zero),
+            RecipeEstimate(ingredients=(full,), servings=2,
+                           total=zero, per_serving=zero),
+        ]
+        tally = ReasonTally()
+        for recipe in recipes:
+            tally.add_recipe(recipe)
+        assert tally.breakdown() == reason_breakdown(recipes)
+        # snapshot semantics: folding more keeps counting
+        tally.add(full)
+        assert tally.breakdown().fully_mapped == 3
+
+    def test_recipe_level_equals_weighted_lines(self):
+        full = _line(STATUS_FULL, "ner-unit", ("ner-unit:resolved",))
+        zero = NutritionalProfile.zero()
+        recipe = RecipeEstimate(
+            ingredients=(full, full), servings=1, total=zero, per_serving=zero
+        )
+        assert reason_breakdown([recipe, recipe]) == (
+            reason_breakdown_from_lines([(full, 4)])
+        )
+
+    def test_render_names_the_figure_2_gap(self):
+        breakdown = reason_breakdown_from_lines([
+            (_line(STATUS_FULL, "ner-unit", ("ner-unit:resolved",)), 8),
+            (_line(STATUS_NAME_ONLY, "corpus-frequent-unit",
+                   ("ner-unit:unresolvable",
+                    "corpus-frequent-unit:never-observed")), 2),
+        ])
+        text = breakdown.render()
+        assert "unit gap (Figure 2" in text
+        assert "ner-unit:unresolvable" in text
+        assert "resolved by:" in text
+
+    def test_empty(self):
+        breakdown = reason_breakdown([])
+        assert breakdown.total_lines == 0
+        assert breakdown.unit_gap == 0
+        assert "lines: 0" in breakdown.render()
+
+    def test_breakdown_over_generated_corpus_matches_figure_2(self):
+        """The breakdown's aggregates must reproduce the Figure-2
+        series: name/full mapped counts equal the status tallies."""
+        from repro import NutritionEstimator, RecipeGenerator
+        from repro.recipedb.generator import GeneratorConfig
+
+        recipes = RecipeGenerator(config=GeneratorConfig(seed=4)).generate(40)
+        estimates = NutritionEstimator().estimate_corpus(recipes)
+        breakdown = reason_breakdown(estimates)
+        flat = [i for e in estimates for i in e.ingredients]
+        assert breakdown.total_lines == len(flat)
+        assert breakdown.fully_mapped == sum(
+            1 for i in flat if i.status == STATUS_FULL
+        )
+        assert breakdown.name_mapped == sum(
+            1 for i in flat if i.status != STATUS_UNMATCHED
+        )
+        assert sum(breakdown.resolved_by.values()) == breakdown.fully_mapped
+        assert sum(breakdown.failed_by.values()) == breakdown.unit_gap

@@ -52,6 +52,55 @@ class TestParse:
         parsed = estimator.parse("2 cans cream of mushroom soup")
         assert parsed.name == "cream mushroom soup"
 
+    # ------------------------------------------------------------------
+    # segmentation edge cases (ISSUE 5 satellite): alternatives,
+    # packaging parentheticals, O-interrupted names, nameless phrases.
+
+    def test_plus_alternative_keeps_first_segment(self, estimator):
+        parsed = estimator.parse("1 cup flour plus 2 tablespoons flour")
+        assert parsed.name == "flour"
+        assert parsed.quantity == "1"
+        assert parsed.unit == "cup"
+
+    def test_or_alternative_without_name_in_first_segment(self, estimator):
+        # The first segment ("to taste") carries no NAME; the primary
+        # segment is the first one that does.
+        parsed = estimator.parse("to taste or 1 teaspoon salt")
+        assert parsed.name == "salt"
+        assert parsed.quantity == "1"
+        assert parsed.unit == "teaspoon"
+
+    def test_packaging_parenthetical_keeps_outer_measure(self, estimator):
+        # "(15 ounce)" must not smuggle a second quantity/unit into the
+        # parse: QUANTITY and UNIT take the first contiguous run.
+        parsed = estimator.parse("1 (15 ounce) can black beans")
+        assert parsed.name == "black beans"
+        assert parsed.quantity == "1"
+        assert parsed.unit == "can"
+
+    def test_o_interrupted_name_spans_the_gap(self, estimator):
+        parsed = estimator.parse("1 can cream of mushroom soup")
+        assert parsed.name == "cream mushroom soup"
+        assert parsed.unit == "can"
+        assert parsed.quantity == "1"
+
+    def test_no_segment_carries_a_name(self, estimator):
+        # No NAME anywhere: the primary segment falls back to the whole
+        # phrase, entities still extract, and estimation reports the
+        # no-name reason.
+        parsed = estimator.parse("2 cups")
+        assert parsed.name == ""
+        assert parsed.quantity == "2"
+        assert parsed.unit == "cups"
+        est = estimator.estimate_ingredient("2 cups")
+        assert est.status == STATUS_UNMATCHED
+        assert est.reason == "no-name"
+
+    def test_all_o_phrase(self, estimator):
+        parsed = estimator.parse("to taste")
+        assert parsed.name == "" and parsed.unit == "" and parsed.quantity == ""
+        assert estimator.estimate_ingredient("to taste").reason == "no-name"
+
 
 class TestEstimateIngredient:
     def test_full_pipeline(self, estimator):

@@ -15,7 +15,7 @@ import itertools
 import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
-from repro.matching.index import DescriptionIndex, linear_candidate_matches
+from repro.matching.index import linear_candidate_matches
 from repro.matching.jaccard import modified_jaccard, vanilla_jaccard
 from repro.matching.matcher import DescriptionMatcher, MatcherConfig
 from repro.matching.preprocess import (
@@ -111,9 +111,11 @@ class ReferenceLinearMatcher:
                     k=5):
         cands = self.candidates(name, state, temperature, dry_fresh)
         if self.config.priority_tiebreak:
-            key = lambda r: (-r.score, r.priority, not r.raw_added, r.db_index)
+            def key(r):
+                return (-r.score, r.priority, not r.raw_added, r.db_index)
         else:
-            key = lambda r: (-r.score, not r.raw_added, r.db_index)
+            def key(r):
+                return (-r.score, not r.raw_added, r.db_index)
         cands.sort(key=key)
         return cands[:k]
 

@@ -1,6 +1,5 @@
 """Tests for Jaccard indices and match preprocessing."""
 
-import pytest
 from hypothesis import given, strategies as st
 
 from repro.matching.jaccard import modified_jaccard, vanilla_jaccard

@@ -74,6 +74,45 @@ class TestShardedParity:
         assert any(i.used_fallback_unit for i in flat)
         assert any(i.status == STATUS_NAME_ONLY for i in flat)
 
+    def test_provenance_ships_bit_identically_across_workers(
+        self, shuffled_corpus, reference_estimates
+    ):
+        """Reason codes and traces travel the wire codec unchanged:
+        every worker-produced line carries the exact provenance the
+        single-process path computed (dataclass == already covers it;
+        this pins the fields explicitly so a codec regression that
+        drops them cannot hide behind an equality shortcut)."""
+        engine = ShardedCorpusEstimator(workers=2, chunk_size=17)
+        parallel = engine.estimate_corpus(shuffled_corpus)
+        reasons_seen = set()
+        for ours, reference in zip(parallel, reference_estimates):
+            for a, b in zip(ours.ingredients, reference.ingredients):
+                assert a.reason == b.reason
+                assert a.trace == b.trace
+                assert a.reason  # never empty on pipeline output
+                reasons_seen.add(a.reason)
+        # the corpus must exercise more than one strategy for this
+        # check to mean anything
+        assert len(reasons_seen) >= 3
+
+    def test_corpus_diagnostics_identical_across_worker_counts(
+        self, shuffled_corpus
+    ):
+        single = ShardedCorpusEstimator(workers=1).corpus_diagnostics(
+            shuffled_corpus
+        )
+        sharded = ShardedCorpusEstimator(
+            workers=2, chunk_size=23
+        ).corpus_diagnostics(shuffled_corpus)
+        assert sharded == single
+        assert sharded.total_lines == sum(
+            len(r.ingredient_texts) for r in shuffled_corpus
+        )
+        assert sharded.fully_mapped > 0
+        assert sharded.unit_gap >= 0
+        assert sum(sharded.resolved_by.values()) == sharded.fully_mapped
+        assert "resolved by:" in sharded.render()
+
     def test_chunk_size_does_not_change_results(self, shuffled_corpus):
         small = ShardedCorpusEstimator(workers=2, chunk_size=7)
         large = ShardedCorpusEstimator(workers=2, chunk_size=500)

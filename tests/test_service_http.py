@@ -89,6 +89,10 @@ class TestEstimateParity:
                 assert encoded["status"] == ingredient.status
                 assert encoded["grams"] == ingredient.grams
                 assert encoded["profile"] == ingredient.profile.values
+                # provenance rides along, identically to in-process
+                assert encoded["reason"] == ingredient.reason
+                assert encoded["trace"] == list(ingredient.trace)
+                assert encoded["reason"]
 
     def test_batch_parity(self, conn, small_corpus):
         recipes = small_corpus[:12]
@@ -103,6 +107,11 @@ class TestEstimateParity:
         assert body["count"] == len(recipes)
         for encoded, reference in zip(body["recipes"], expected):
             assert encoded["per_serving"] == reference.per_serving.values
+            for line, ingredient in zip(
+                encoded["ingredients"], reference.ingredients
+            ):
+                assert line["reason"] == ingredient.reason
+                assert line["trace"] == list(ingredient.trace)
 
     def test_cache_hit_is_flagged_and_identical(self, conn):
         payload = {"ingredients": ["2 cups white sugar"], "servings": 2}
@@ -137,6 +146,98 @@ class TestMatchAndParse:
         assert response.status == 200
         assert body["name"] == "onion"
         assert body["tags"][0] == "QUANTITY"
+
+
+class TestExplain:
+    def test_explain_resolved_line(self, conn):
+        response, body = call(conn, "POST", "/v1/explain", {
+            "text": "2 cups all-purpose flour",
+        })
+        assert response.status == 200
+        assert body["status"] == "matched"
+        assert body["reason"] == "ner-unit"
+        assert body["trace"] == ["ner-unit:resolved"]
+        assert body["estimate"]["grams"] > 0
+        assert body["candidates"]
+        stages = {s["stage"]: s for s in body["stages"]}
+        assert stages["ner-unit"]["outcome"] == "resolved"
+        assert stages["ner-unit"]["unit"] == "cup"
+        assert stages["phrase-scan"]["outcome"] == "skipped"
+
+    def test_explain_matches_estimate_for_the_same_line(self, conn):
+        """/v1/explain's estimate must be byte-identical (JSON float
+        round-trip) to /v1/estimate's per-line outcome."""
+        text = "1 (15 ounce) can black beans"
+        _, explained = call(conn, "POST", "/v1/explain", {"text": text})
+        _, estimated = call(conn, "POST", "/v1/estimate", {
+            "ingredients": [text],
+        })
+        assert explained["estimate"] == estimated["ingredients"][0]
+
+    def test_explain_context_rescues_via_corpus_unit(self, conn):
+        response, body = call(conn, "POST", "/v1/explain", {
+            "text": "1 head butter cup",
+            "context": ["2 tablespoons butter", "1 tablespoon butter"],
+        })
+        assert response.status == 200
+        assert body["status"] == "matched"
+        assert body["reason"] == "corpus-frequent-unit"
+        assert body["context_lines"] == 2
+
+    def test_explain_unmatched(self, conn):
+        response, body = call(conn, "POST", "/v1/explain", {
+            "text": "2 teaspoons garam masala",
+        })
+        assert response.status == 200
+        assert body["status"] == "unmatched"
+        assert body["reason"] == "no-description-match"
+        assert body["stages"] == []
+
+    def test_explain_is_cached(self, conn):
+        payload = {"text": "1 cup white sugar", "context": ["1 cup sugar"]}
+        call(conn, "POST", "/v1/explain", payload)
+        response, body = call(conn, "POST", "/v1/explain", payload)
+        assert response.getheader("X-Cache") == "hit"
+        assert body["reason"]
+
+    def test_explain_validation(self, conn):
+        response, body = call(conn, "POST", "/v1/explain", {
+            "text": "x", "context": "not a list",
+        })
+        assert response.status == 400
+        assert body["error"]["field"] == "context"
+
+
+class TestReasonMetrics:
+    def test_metrics_expose_per_reason_counters(self, service):
+        # A fresh connection on the module service: observe the delta
+        # produced by one uncached estimate.
+        connection = http.client.HTTPConnection(
+            service.host, service.port, timeout=30
+        )
+        try:
+            _, before = call(connection, "GET", "/metrics")
+            call(connection, "POST", "/v1/estimate", {
+                "ingredients": [
+                    "3 cups all-purpose flour",
+                    "2 teaspoons garam masala",
+                ],
+            })
+            _, after = call(connection, "GET", "/metrics")
+        finally:
+            connection.close()
+        assert "reasons" in before and "reasons" in after
+        delta = (
+            after["reasons"]["lines_total"]
+            - before["reasons"]["lines_total"]
+        )
+        assert delta == 2
+        by_reason = after["reasons"]["by_reason"]
+        prev = before["reasons"]["by_reason"]
+        assert by_reason["ner-unit"] == prev.get("ner-unit", 0) + 1
+        assert by_reason["no-description-match"] == (
+            prev.get("no-description-match", 0) + 1
+        )
 
 
 class TestErrorContract:

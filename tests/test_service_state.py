@@ -316,6 +316,22 @@ class TestMetrics:
         assert endpoint["latency_ms"]["p50"] == pytest.approx(4.0)
         assert snapshot["requests_total"] == 3
 
+    def test_reason_counters(self):
+        metrics = ServiceMetrics()
+        assert metrics.snapshot()["reasons"] == {
+            "lines_total": 0,
+            "by_reason": {},
+        }
+        metrics.observe_reasons(["ner-unit", "ner-unit", "bare-count"])
+        metrics.observe_reasons(iter(["no-description-match"]))
+        reasons = metrics.snapshot()["reasons"]
+        assert reasons["lines_total"] == 4
+        assert reasons["by_reason"] == {
+            "bare-count": 1,
+            "ner-unit": 2,
+            "no-description-match": 1,
+        }
+
 
 # ----------------------------------------------------------------------
 # config validation

@@ -18,6 +18,27 @@ class TestScanForUnit:
     def test_alias_scanned(self):
         assert scan_for_unit("2 tbsp butter") == "tablespoon"
 
+    def test_raw_spelling_guard(self):
+        # The precision guard: only tokens whose literal lower-cased
+        # spelling is a known alias count.  "cups" lemmatizes to "cup"
+        # but is not itself an alias, so the scan must not find it.
+        assert scan_for_unit("2 cups sugar") is None
+        assert scan_for_unit("2 cup sugar") == "cup"
+
+    def test_token_memoization_is_transparent(self):
+        from repro.units.fallback import _scan_token_unit
+
+        _scan_token_unit.cache_clear()
+        assert scan_for_unit("chopped fresh basil") is None
+        assert scan_for_unit("chopped fresh basil") is None
+        info = _scan_token_unit.cache_info()
+        # Three distinct alphabetic tokens: computed once, then served
+        # from the per-token memo on the repeat scan.
+        assert info.misses == 3
+        assert info.hits == 3
+        assert _scan_token_unit("cup") == "cup"
+        assert _scan_token_unit("or") is None
+
 
 class TestUnitFallback:
     def test_most_frequent_unit(self):

@@ -1,6 +1,5 @@
 """Integrity checks over the embedded curated SR subset."""
 
-import pytest
 
 from repro.eval.tables import TABLE_II_DESCRIPTIONS
 from repro.units.normalize import normalize_unit
