@@ -1,0 +1,174 @@
+"""Fault-tolerance overhead and recovery cost (ISSUE 6).
+
+Measures, on a duplication-saturated synthetic corpus:
+
+* **supervision overhead** — the supervised engine with no faults
+  injected vs the same engine's throughput baseline (the supervisor's
+  polling/bookkeeping must be noise, not a tax),
+* **crash recovery** — the same corpus with K worker crashes injected
+  (one per collect chunk, first attempts only): wall-clock degradation
+  and, critically, **result parity** — the crash run's estimates must
+  be bit-identical to the clean run's,
+* **poison quarantine** — one poison line injected: the run completes,
+  the dead-letter report names the line, and every surviving line is
+  bit-identical to a clean run over the corpus minus that line.
+
+Emits ``results/BENCH_resilience.json``.
+
+Run::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_resilience.py -q
+    PYTHONPATH=src python benchmarks/bench_resilience.py   # standalone
+    REPRO_BENCH_SMOKE=1 ...                                # CI smoke
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from collections import Counter
+
+from conftest import write_result
+
+from repro import RecipeGenerator, ShardedCorpusEstimator
+from repro.core.resolution import REASON_ESTIMATOR_ERROR
+from repro.faults import ENV_VAR
+from repro.recipedb.generator import GeneratorConfig
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") == "1"
+N_RECIPES = 200 if SMOKE else 4000
+LINE_REUSE = 0.8
+WORKERS = 2
+CHUNK_SIZE = 64 if SMOKE else 256
+#: Crashes injected for the recovery measurement.
+N_CRASHES = 2 if SMOKE else 4
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def _set_faults(spec: str | None) -> None:
+    if spec is None:
+        os.environ.pop(ENV_VAR, None)
+    else:
+        os.environ[ENV_VAR] = spec
+
+
+def run_benchmark() -> dict:
+    recipes = RecipeGenerator(
+        config=GeneratorConfig(seed=7, line_reuse=LINE_REUSE)
+    ).generate(N_RECIPES)
+    n_lines = sum(len(r.ingredient_texts) for r in recipes)
+    counts = dict(
+        Counter(t for r in recipes for t in r.ingredient_texts)
+    )
+    n_chunks = -(-len(counts) // CHUNK_SIZE)
+
+    def engine():
+        return ShardedCorpusEstimator(
+            workers=WORKERS, chunk_size=CHUNK_SIZE, quarantine=True
+        )
+
+    # -- clean baseline (supervised pool, no faults)
+    _set_faults(None)
+    clean_engine = engine()
+    clean, clean_s = _timed(lambda: clean_engine.estimate_corpus(recipes))
+    assert len(clean_engine.last_report.dead_letters) == 0
+
+    # -- K crashes: one per collect chunk, first attempt only
+    crash_chunks = [
+        i * max(1, n_chunks // N_CRASHES) for i in range(N_CRASHES)
+    ]
+    crash_chunks = sorted(set(c for c in crash_chunks if c < n_chunks))
+    _set_faults(";".join(f"crash@collect-chunk:{c}" for c in crash_chunks))
+    crash_engine = engine()
+    crashed, crash_s = _timed(lambda: crash_engine.estimate_corpus(recipes))
+    crash_report = crash_engine.last_report
+    _set_faults(None)
+
+    parity = crashed == clean
+    assert parity, "crash-recovery run diverged from the clean run"
+    assert crash_report.worker_crashes >= len(crash_chunks)
+    assert crash_report.retries >= len(crash_chunks)
+
+    # -- one poison line: quarantined, survivors bit-identical to the
+    # corpus-minus-line run
+    poisoned_text = max(counts, key=len)
+    reduced = {t: n for t, n in counts.items() if t != poisoned_text}
+    clean_minus = engine().estimate_table(reduced)
+    _set_faults(f"raise@estimate-line:{poisoned_text}")
+    poison_engine = engine()
+    poisoned_table, poison_s = _timed(
+        lambda: poison_engine.estimate_table(dict(counts))
+    )
+    poison_report = poison_engine.last_report
+    _set_faults(None)
+
+    survivors_identical = all(
+        poisoned_table[t] == clean_minus[t] for t in reduced
+    )
+    assert survivors_identical
+    assert len(poison_report.dead_letters) == 1
+    letter = poison_report.dead_letters.records[0]
+    assert letter.reason == REASON_ESTIMATOR_ERROR
+    assert poisoned_table[poisoned_text].reason == REASON_ESTIMATOR_ERROR
+
+    return {
+        "benchmark": "bench_resilience",
+        "smoke": SMOKE,
+        "workers": WORKERS,
+        "chunk_size": CHUNK_SIZE,
+        "recipes": len(recipes),
+        "lines": n_lines,
+        "distinct_lines": len(counts),
+        "chunks": n_chunks,
+        "clean": {
+            "seconds": round(clean_s, 3),
+            "lines_per_sec": round(n_lines / clean_s),
+        },
+        "crash_recovery": {
+            "injected_crashes": len(crash_chunks),
+            "seconds": round(crash_s, 3),
+            "lines_per_sec": round(n_lines / crash_s),
+            "slowdown_vs_clean": round(crash_s / clean_s, 2),
+            "bit_identical_to_clean": parity,
+            "worker_crashes": crash_report.worker_crashes,
+            "respawns": crash_report.respawns,
+            "retries": crash_report.retries,
+        },
+        "poison_quarantine": {
+            "seconds": round(poison_s, 3),
+            "dead_lettered": len(poison_report.dead_letters),
+            "dead_letter_reason": letter.reason,
+            "survivors_bit_identical_to_corpus_minus_line": (
+                survivors_identical
+            ),
+        },
+    }
+
+
+def test_resilience():
+    report = run_benchmark()
+    write_result("BENCH_resilience.json", json.dumps(report, indent=2))
+    assert report["crash_recovery"]["bit_identical_to_clean"]
+    assert report["crash_recovery"]["worker_crashes"] >= 1
+    assert report["poison_quarantine"]["dead_lettered"] == 1
+    assert report["poison_quarantine"][
+        "survivors_bit_identical_to_corpus_minus_line"
+    ]
+    # Recovery must cost bounded extra wall-clock: each crash loses at
+    # most one chunk attempt, so even a conservative bound is loose.
+    assert report["crash_recovery"]["slowdown_vs_clean"] < 10
+
+
+if __name__ == "__main__":
+    result = run_benchmark()
+    path = write_result(
+        "BENCH_resilience.json", json.dumps(result, indent=2)
+    )
+    print(json.dumps(result, indent=2))
+    print(f"wrote {path}")

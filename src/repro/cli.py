@@ -39,6 +39,10 @@ from repro.core.estimator import STATUS_FULL, NutritionEstimator
 from repro.core.explain import explain_line
 from repro.matching.explain import explain_match
 from repro.pipeline import EstimatorSpec, ShardedCorpusEstimator
+from repro.pipeline.engine import (
+    DEFAULT_CHUNK_DEADLINE_S,
+    DEFAULT_MAX_CHUNK_RETRIES,
+)
 from repro.recipedb.corpus import (
     iter_recipes_jsonl,
     load_recipes_jsonl,
@@ -125,6 +129,20 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     if args.workers < 1:
         print(f"error: --workers must be >= 1, got {args.workers}")
         return 2
+    if args.chunk_deadline < 0:
+        print(
+            "error: --chunk-deadline must be >= 0 (0 disables), got "
+            f"{args.chunk_deadline}"
+        )
+        return 2
+    if args.chunk_deadline == 0:
+        args.chunk_deadline = None
+    if args.max_chunk_retries < 0:
+        print(
+            f"error: --max-chunk-retries must be >= 0, got "
+            f"{args.max_chunk_retries}"
+        )
+        return 2
     spec = _spec_from_args(args)
     use_engine = args.workers > 1 or args.jsonl
     if use_engine and args.passes != 2:
@@ -144,15 +162,28 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     # Incremental fold, not a buffer: --reasons must not defeat the
     # bounded memory of the streaming engine path.
     reason_tally = ReasonTally() if args.reasons else None
+    report = None
     if use_engine:
         # Sharded/streaming path: the engine traverses the file itself
         # (twice, bounded memory); recipes stream alongside for titles
         # and results print as they arrive.  Estimation is lazy here,
         # so the timer necessarily spans the consuming loop.
-        engine = ShardedCorpusEstimator(spec, workers=args.workers)
+        quarantine = not args.strict
+        engine = ShardedCorpusEstimator(
+            spec,
+            workers=args.workers,
+            quarantine=quarantine,
+            chunk_deadline_s=args.chunk_deadline,
+            max_chunk_retries=args.max_chunk_retries,
+        )
+        recipe_stream = (
+            iter_recipes_jsonl(args.path, on_error="skip")
+            if quarantine
+            else iter_recipes_jsonl(args.path)
+        )
         start = time.perf_counter()
         for recipe, est in zip(
-            iter_recipes_jsonl(args.path),
+            recipe_stream,
             engine.iter_corpus_estimates(args.path),
         ):
             n_recipes += 1
@@ -162,6 +193,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             show(recipe, est)
         elapsed = time.perf_counter() - start
         mode = f"{args.workers} worker(s), two-phase corpus protocol"
+        report = engine.last_report
     else:
         # In-memory path: the same two-phase corpus protocol as the
         # engine (identical results at any --workers), timed without
@@ -194,6 +226,20 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     if reason_tally is not None:
         print("\nreason-code breakdown:")
         print(reason_tally.breakdown().render())
+    if report is not None:
+        supervision = {
+            k: v for k, v in report.counters().items()
+            if k != "dead_lettered" and v
+        }
+        if supervision:
+            summary = ", ".join(
+                f"{name.replace('_', ' ')}: {value}"
+                for name, value in supervision.items()
+            )
+            print(f"\nsupervision: {summary}")
+        if report.dead_letters:
+            print("\ndead-letter report:")
+            print(report.dead_letters.render())
     return 0
 
 
@@ -220,6 +266,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             workers=args.workers,
             cache_cap=args.cache_cap,
             spec=_spec_from_args(args),
+            max_body_bytes=args.max_body_bytes,
+            request_timeout_s=(
+                args.request_timeout if args.request_timeout > 0 else None
+            ),
+            max_concurrent=args.max_concurrent,
+            max_queue=args.max_queue,
         )
     except ValueError as exc:
         print(f"error: {exc}")
@@ -353,6 +405,21 @@ def build_parser() -> argparse.ArgumentParser:
                        help="start coordinator and workers from a "
                             "build-artifact snapshot instead of "
                             "rebuilding the pipeline per process")
+    batch.add_argument("--strict", action="store_true",
+                       help="abort on malformed corpus lines or "
+                            "estimator errors instead of quarantining "
+                            "them to a dead-letter report (engine path "
+                            "only; the default quarantines)")
+    batch.add_argument("--chunk-deadline", type=float,
+                       default=DEFAULT_CHUNK_DEADLINE_S, metavar="SECONDS",
+                       help="per-chunk budget before a worker is "
+                            "presumed hung and replaced (0 disables; "
+                            f"default {DEFAULT_CHUNK_DEADLINE_S:.0f}s)")
+    batch.add_argument("--max-chunk-retries", type=int,
+                       default=DEFAULT_MAX_CHUNK_RETRIES, metavar="N",
+                       help="re-dispatches allowed per chunk lost to a "
+                            "crashed or hung worker (default "
+                            f"{DEFAULT_MAX_CHUNK_RETRIES})")
     batch.add_argument("--reasons", action="store_true",
                        help="append the corpus reason-code breakdown "
                             "(Figure 2's name-vs-full gap by cause)")
@@ -373,6 +440,25 @@ def build_parser() -> argparse.ArgumentParser:
                            default=DEFAULT_RESPONSE_CACHE_CAP,
                            help="response cache entry cap (default "
                                 f"{DEFAULT_RESPONSE_CACHE_CAP})")
+    serve_cmd.add_argument("--request-timeout", type=float, default=30.0,
+                           metavar="SECONDS",
+                           help="per-request estimation deadline; "
+                                "exceeding it returns HTTP 504 "
+                                "(0 disables; default 30)")
+    serve_cmd.add_argument("--max-body-bytes", type=int, default=1 << 20,
+                           metavar="BYTES",
+                           help="reject request bodies larger than this "
+                                "with HTTP 413 before reading them "
+                                "(default 1 MiB)")
+    serve_cmd.add_argument("--max-concurrent", type=int, default=8,
+                           metavar="N",
+                           help="estimation requests running at once; "
+                                "more wait in the admission queue "
+                                "(default 8)")
+    serve_cmd.add_argument("--max-queue", type=int, default=32, metavar="N",
+                           help="waiting requests beyond --max-concurrent "
+                                "before new ones are shed with HTTP 503 "
+                                "+ Retry-After (default 32)")
     serve_cmd.add_argument("--artifact", default="",
                            help="start the service (and any workers) "
                                 "from a build-artifact snapshot for an "

@@ -24,13 +24,16 @@ from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field
 from typing import Protocol
 
+from repro import faults
 from repro.core.profile import NutritionalProfile
 from repro.core.resolution import (
+    REASON_ESTIMATOR_ERROR,
     REASON_NO_MATCH,
     REASON_NO_NAME,
     ChainResult,
     run_unit_chain,
 )
+from repro.deadletter import DeadLetterLog
 from repro.matching.matcher import DescriptionMatcher, MatcherConfig
 from repro.matching.types import MatchResult
 from repro.ner.rule_tagger import RuleBasedTagger
@@ -126,6 +129,35 @@ class RecipeEstimate:
             1 for i in self.ingredients if i.status != STATUS_UNMATCHED
         )
         return named / len(self.ingredients)
+
+
+def quarantined_estimate(text: str, error: BaseException) -> IngredientEstimate:
+    """Zero-contribution placeholder for a line whose estimation raised.
+
+    Status ``unmatched`` with reason ``estimator-error``: the line
+    adds nothing to recipe totals and nothing to the corpus unit
+    statistics, so every *other* line's estimate is bit-identical to
+    a run over the corpus with this line removed — the quarantine
+    parity contract (see :mod:`repro.deadletter`).
+    """
+    parsed = ParsedIngredient(
+        text=text,
+        tokens=(),
+        tags=(),
+        name="",
+        state="",
+        unit="",
+        quantity="",
+        temperature="",
+        dry_fresh="",
+        size="",
+    )
+    return IngredientEstimate(
+        parsed=parsed,
+        status=STATUS_UNMATCHED,
+        reason=REASON_ESTIMATOR_ERROR,
+        trace=(f"{REASON_ESTIMATOR_ERROR}:{type(error).__name__}",),
+    )
 
 
 class NutritionEstimator:
@@ -432,7 +464,11 @@ class NutritionEstimator:
     # corpus level: the two-phase protocol (§II-C, sharding-exact)
 
     def corpus_collect_estimates(
-        self, texts_with_counts: Iterable[tuple[str, int]]
+        self,
+        texts_with_counts: Iterable[tuple[str, int]],
+        *,
+        quarantine: DeadLetterLog | None = None,
+        ordinal_base: int = 0,
     ) -> tuple[dict[str, IngredientEstimate], dict[str, dict[str, int]]]:
         """Corpus pass 1 over distinct ingredient lines (shardable).
 
@@ -443,13 +479,36 @@ class NutritionEstimator:
         the observation table — is independent of processing order and
         of how the corpus is sharded across workers.
 
+        With *quarantine*, a line whose estimation raises is diverted
+        to a dead-letter record (numbered ``ordinal_base + i`` in the
+        distinct-line table — shard coordinators pass their chunk's
+        base ordinal) and replaced by a zero-contribution
+        :func:`quarantined_estimate` instead of aborting the pass.
+        Without it (the default), exceptions propagate — strict mode,
+        the seed behaviour.
+
         Returns ``(text -> estimate, observation snapshot)``.  The
         snapshot merges across shards via :meth:`UnitFallback.merge`.
         """
+        plan = faults.active_plan()
         observations = UnitFallback(self._fallback.max_grams)
         estimates: dict[str, IngredientEstimate] = {}
-        for text, count in texts_with_counts:
-            estimate = self._estimate_line(text, consult_fallback=False)
+        for i, (text, count) in enumerate(texts_with_counts):
+            try:
+                if plan is not None:
+                    plan.poison(text)
+                estimate = self._estimate_line(text, consult_fallback=False)
+            except Exception as exc:
+                if quarantine is None:
+                    raise
+                estimate = quarantined_estimate(text, exc)
+                quarantine.add(
+                    "estimate",
+                    ordinal_base + i,
+                    text,
+                    REASON_ESTIMATOR_ERROR,
+                    repr(exc),
+                )
             estimates[text] = estimate
             if estimate.status == STATUS_FULL:
                 observations.observe(
@@ -458,7 +517,11 @@ class NutritionEstimator:
         return estimates, observations.snapshot()
 
     def corpus_fallback_estimates(
-        self, texts: Iterable[str]
+        self,
+        texts: Iterable[str],
+        *,
+        quarantine: DeadLetterLog | None = None,
+        ordinals: dict[str, int] | None = None,
     ) -> dict[str, IngredientEstimate]:
         """Corpus pass 2 for the unit-unresolved lines (shardable).
 
@@ -466,14 +529,40 @@ class NutritionEstimator:
         — by protocol, the merged pass-1 statistics of the whole
         corpus.  The table is only read, never written, so results
         again do not depend on order or sharding.
+
+        With *quarantine*, a line that raises here is dead-lettered
+        and simply **omitted** from the returned dict, which leaves
+        its valid pass-1 name-only estimate standing (pass 2 can only
+        upgrade a line, so keeping the pass-1 outcome is the safe
+        degradation).  *ordinals* maps text to its distinct-line
+        ordinal for the dead-letter record.
         """
-        return {
-            text: self._estimate_line(text, consult_fallback=True)
-            for text in texts
-        }
+        plan = faults.active_plan()
+        estimates: dict[str, IngredientEstimate] = {}
+        for text in texts:
+            try:
+                if plan is not None:
+                    plan.poison(text)
+                estimates[text] = self._estimate_line(
+                    text, consult_fallback=True
+                )
+            except Exception as exc:
+                if quarantine is None:
+                    raise
+                quarantine.add(
+                    "estimate",
+                    (ordinals or {}).get(text, -1),
+                    text,
+                    REASON_ESTIMATOR_ERROR,
+                    repr(exc),
+                )
+        return estimates
 
     def corpus_estimate_table(
-        self, counts: dict[str, int]
+        self,
+        counts: dict[str, int],
+        *,
+        quarantine: DeadLetterLog | None = None,
     ) -> dict[str, IngredientEstimate]:
         """The full two-phase protocol over a distinct-line table.
 
@@ -483,9 +572,13 @@ class NutritionEstimator:
         implementation — :meth:`estimate_corpus` assembles recipes
         from it, and the sharded engine's in-process (``workers=1``)
         path calls it directly, so the parity-critical sequence lives
-        in exactly one place.
+        in exactly one place.  *quarantine* enables poison-line
+        diversion in both passes (see
+        :meth:`corpus_collect_estimates`).
         """
-        estimates, observations = self.corpus_collect_estimates(counts.items())
+        estimates, observations = self.corpus_collect_estimates(
+            counts.items(), quarantine=quarantine
+        )
         self._fallback.clear()
         self._fallback.merge(observations)
         pending = [
@@ -493,7 +586,14 @@ class NutritionEstimator:
             for text, estimate in estimates.items()
             if estimate.status == STATUS_NAME_ONLY
         ]
-        estimates.update(self.corpus_fallback_estimates(pending))
+        ordinals = None
+        if quarantine is not None:
+            ordinals = {text: i for i, text in enumerate(counts)}
+        estimates.update(
+            self.corpus_fallback_estimates(
+                pending, quarantine=quarantine, ordinals=ordinals
+            )
+        )
         return estimates
 
     def estimate_corpus(

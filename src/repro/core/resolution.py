@@ -69,6 +69,11 @@ REASON_CORPUS_UNIT = "corpus-frequent-unit"
 REASON_NO_NAME = "no-name"
 #: No USDA-SR description shares a word with the parsed name.
 REASON_NO_MATCH = "no-description-match"
+#: Estimating the line raised; it was quarantined to a dead-letter
+#: record (see :mod:`repro.deadletter`) instead of aborting the run.
+#: Not part of the strategy chain — it marks a line the chain never
+#: got to finish.
+REASON_ESTIMATOR_ERROR = "estimator-error"
 
 #: Reasons that mean "unit resolved" (status ``matched``), in chain order.
 RESOLUTION_REASONS: tuple[str, ...] = (

@@ -1,0 +1,119 @@
+"""Dead-letter records: quarantined inputs with reason-coded provenance.
+
+A production corpus run must not die on one bad line.  When quarantine
+is enabled, the two failure classes that used to abort a run are
+instead diverted here:
+
+* **ingest** — a JSONL corpus line that is not valid JSON or not a
+  valid recipe (:func:`repro.recipedb.corpus.iter_recipes_jsonl` with
+  ``on_error="skip"``), identified by its 1-based file line number;
+* **estimate** — an ingredient line whose estimation raised
+  (:meth:`NutritionEstimator.corpus_collect_estimates` with a
+  quarantine log), identified by its ordinal in the corpus's
+  distinct-line table.
+
+Every record carries a machine-readable reason code in the same
+registry style as :mod:`repro.core.resolution` — quarantined estimate
+placeholders use :data:`repro.core.resolution.REASON_ESTIMATOR_ERROR`
+so the reason surfaces through ``/metrics`` and reason breakdowns
+exactly like any other per-line provenance.
+
+The contract quarantine preserves: **a dead-lettered line behaves as
+if it were absent from the corpus** — it contributes no unit
+observations and a zero profile, so every clean line's estimate is
+bit-identical to a run over the corpus with the bad line removed
+(``tests/test_fault_tolerance.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+# Ingest-side reason codes (estimate-side quarantine reuses
+# repro.core.resolution.REASON_ESTIMATOR_ERROR).
+REASON_MALFORMED_JSON = "malformed-json"
+REASON_INVALID_RECIPE = "invalid-recipe"
+
+#: Offending input is truncated to this many characters per record so
+#: a multi-megabyte corrupted line cannot balloon the log.
+MAX_INPUT_CHARS = 200
+
+
+@dataclass(frozen=True, slots=True)
+class DeadLetter:
+    """One quarantined input."""
+
+    source: str  # "ingest" | "estimate"
+    line_no: int  # 1-based file line (ingest) / distinct-line ordinal
+    input: str  # offending input, truncated
+    reason: str  # machine-readable reason code
+    detail: str = ""  # human-readable cause (exception repr etc.)
+
+    def to_dict(self) -> dict:
+        return {
+            "source": self.source,
+            "line_no": self.line_no,
+            "input": self.input,
+            "reason": self.reason,
+            "detail": self.detail,
+        }
+
+
+class DeadLetterLog:
+    """An append-only collection of :class:`DeadLetter` records."""
+
+    def __init__(self) -> None:
+        self._records: list[DeadLetter] = []
+
+    def add(
+        self,
+        source: str,
+        line_no: int,
+        input_text: str,
+        reason: str,
+        detail: str = "",
+    ) -> None:
+        self._records.append(
+            DeadLetter(
+                source=source,
+                line_no=line_no,
+                input=input_text[:MAX_INPUT_CHARS],
+                reason=reason,
+                detail=detail[:MAX_INPUT_CHARS],
+            )
+        )
+
+    def extend(self, records: "DeadLetterLog | list[DeadLetter]") -> None:
+        self._records.extend(records)
+
+    @property
+    def records(self) -> tuple[DeadLetter, ...]:
+        return tuple(self._records)
+
+    def by_reason(self) -> dict[str, int]:
+        tally: dict[str, int] = {}
+        for record in self._records:
+            tally[record.reason] = tally.get(record.reason, 0) + 1
+        return dict(sorted(tally.items()))
+
+    def render(self) -> str:
+        """Human-readable dead-letter report (the CLI prints this)."""
+        if not self._records:
+            return "no dead-lettered lines"
+        lines = [f"{len(self._records)} dead-lettered line(s):"]
+        for record in self._records:
+            lines.append(
+                f"  [{record.source} line {record.line_no}] "
+                f"{record.reason}: {record.input!r}"
+                + (f" ({record.detail})" if record.detail else "")
+            )
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self):
+        return iter(self._records)
+
+    def __bool__(self) -> bool:
+        return bool(self._records)

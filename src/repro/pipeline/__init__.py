@@ -11,12 +11,31 @@ multi-worker result is bit-identical to the single-process path.
   recipe for rebuilding an estimator once per worker,
 * :mod:`repro.pipeline.wire` — the compact wire codec for shipping
   per-line estimates between workers and the coordinator,
+* :mod:`repro.pipeline.supervisor` — :class:`SupervisedWorkerPool`,
+  the fault-tolerant pool: crash/hang detection, spec-based respawn,
+  bounded chunk retry, ordered results,
 * :mod:`repro.pipeline.engine` — :class:`ShardedCorpusEstimator`, the
-  coordinator: chunked sharding with imap load balancing, mergeable
-  unit-statistics snapshots, bounded-memory streaming ingestion.
+  coordinator: chunked sharding over the supervised pool, mergeable
+  unit-statistics snapshots, bounded-memory streaming ingestion,
+  optional dead-letter quarantine with a per-run :class:`RunReport`.
 """
 
-from repro.pipeline.engine import ShardedCorpusEstimator
+from repro.pipeline.engine import RunReport, ShardedCorpusEstimator
+from repro.pipeline.errors import (
+    ChunkRetriesExhaustedError,
+    PipelineError,
+    WorkerPoolError,
+)
 from repro.pipeline.spec import EstimatorSpec
+from repro.pipeline.supervisor import SupervisedWorkerPool, SupervisorStats
 
-__all__ = ["EstimatorSpec", "ShardedCorpusEstimator"]
+__all__ = [
+    "ChunkRetriesExhaustedError",
+    "EstimatorSpec",
+    "PipelineError",
+    "RunReport",
+    "ShardedCorpusEstimator",
+    "SupervisedWorkerPool",
+    "SupervisorStats",
+    "WorkerPoolError",
+]

@@ -1,14 +1,14 @@
 """The sharded corpus estimation coordinator.
 
 Distributes the two-phase corpus protocol of
-:meth:`NutritionEstimator.estimate_corpus` across a process pool:
+:meth:`NutritionEstimator.estimate_corpus` across a supervised
+process pool:
 
 1. **Collect (sharded)** — the coordinator streams the corpus once to
    count distinct ingredient lines (first-occurrence order), then
-   fans chunks of ``(text, count)`` out to workers with imap load
-   balancing.  Each worker estimates its chunk without the corpus
-   fallback and returns compact wire estimates plus a mergeable
-   unit-observation snapshot.
+   fans chunks of ``(text, count)`` out to workers.  Each worker
+   estimates its chunk without the corpus fallback and returns
+   compact wire estimates plus a mergeable unit-observation snapshot.
 2. **Merge** — snapshots merge in chunk order
    (:meth:`UnitFallback.merge`), reproducing the exact table — counts
    *and* ``most_common`` tie-break order — a single process builds.
@@ -24,25 +24,34 @@ table — never on processing order — so the result is **bit-identical**
 to ``NutritionEstimator.estimate_corpus`` regardless of worker count,
 chunk size or scheduling (``tests/test_pipeline_parallel.py``).
 
-Memory is bounded by the distinct-line working set plus
-``max_pending`` in-flight chunks, not by corpus length: recipes are
-streamed (see :func:`repro.recipedb.corpus.iter_recipes_jsonl`), and a
-semaphore gates the imap feeder so a fast producer cannot buffer the
-whole corpus into the task queue.
+**Fault tolerance** (ISSUE 6): the pool is a
+:class:`~repro.pipeline.supervisor.SupervisedWorkerPool` — a worker
+that crashes or hangs mid-chunk is detected (liveness + chunk
+deadline), respawned from the spec (instant with an artifact-backed
+spec), and its chunk retried on a healthy worker with a bounded
+budget; because chunk results are pure functions of chunk content,
+recovery preserves the bit-identical merge.  With ``quarantine=True``
+malformed corpus lines and estimator-raising ingredient lines are
+diverted to dead-letter records (:mod:`repro.deadletter`) instead of
+aborting the run; :attr:`ShardedCorpusEstimator.last_report` carries
+the run's dead letters and supervision counters.  Both recovery paths
+are deterministically testable through :mod:`repro.faults`.
+
+Memory is bounded by the distinct-line working set: recipes are
+streamed (see :func:`repro.recipedb.corpus.iter_recipes_jsonl`), and
+each worker holds at most one chunk at a time.
 """
 
 from __future__ import annotations
 
 import dataclasses
-import gc
-import multiprocessing as mp
-import os
-import threading
 from collections import Counter
-from collections.abc import Callable, Iterable, Iterator, Sequence
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass, field
 from itertools import islice
 from pathlib import Path
 
+from repro import faults
 from repro.core.coverage import ReasonBreakdown, reason_breakdown_from_lines
 from repro.core.estimator import (
     STATUS_NAME_ONLY,
@@ -50,7 +59,9 @@ from repro.core.estimator import (
     NutritionEstimator,
     RecipeEstimate,
 )
+from repro.deadletter import DeadLetterLog
 from repro.pipeline.spec import EstimatorSpec
+from repro.pipeline.supervisor import SupervisedWorkerPool, WorkerState
 from repro.pipeline.wire import dumps_estimates, loads_estimates
 from repro.recipedb.corpus import iter_recipes_jsonl
 from repro.recipedb.model import Recipe
@@ -60,86 +71,115 @@ from repro.units.fallback import UnitFallback
 #: sequence, or a path to a JSONL file (re-streamed per pass).
 CorpusSource = Sequence[Recipe] | str | Path
 
+#: Default per-chunk wall-clock budget before a worker is presumed
+#: hung.  Generous: a 512-line chunk estimates in well under a second
+#: even with a trained tagger, so triggering this means a genuinely
+#: stuck process, not a slow one.
+DEFAULT_CHUNK_DEADLINE_S = 120.0
+
+#: Default re-dispatches allowed per lost chunk.
+DEFAULT_MAX_CHUNK_RETRIES = 2
+
+
+@dataclass
+class RunReport:
+    """What happened, beyond the estimates, during one corpus run."""
+
+    workers: int = 1
+    retries: int = 0
+    respawns: int = 0
+    worker_crashes: int = 0
+    hung_workers: int = 0
+    dead_letters: DeadLetterLog = field(default_factory=DeadLetterLog)
+
+    def counters(self) -> dict:
+        """Flat counter view (the service merges this into /metrics)."""
+        return {
+            "retries": self.retries,
+            "respawns": self.respawns,
+            "worker_crashes": self.worker_crashes,
+            "hung_workers": self.hung_workers,
+            "dead_lettered": len(self.dead_letters),
+        }
+
+
 # ----------------------------------------------------------------------
-# worker side: one estimator per process, rebuilt from the spec once
+# worker-side task handlers (module-level: they cross the process
+# boundary by reference; each runs with the worker's WorkerState)
 
-_WORKER_ESTIMATOR: NutritionEstimator | None = None
-_WORKER_INIT_ERROR: BaseException | None = None
-_WORKER_STATS_INSTALLED = False
+def _collect_task(state: WorkerState, payload, task_id: int, attempt: int):
+    """Phase-1 task: wire estimates + observation snapshot for a chunk.
 
-
-def _init_worker(spec: EstimatorSpec) -> None:
-    global _WORKER_ESTIMATOR, _WORKER_INIT_ERROR, _WORKER_STATS_INSTALLED
-    # A raising Pool initializer kills the worker and the pool spawns
-    # a replacement, which fails the same way — an endless respawn
-    # loop instead of an error.  Stash the failure (e.g. a typed
-    # ArtifactMismatchError from a swapped artifact file) and let the
-    # first task re-raise it through imap to the coordinator.
-    try:
-        _WORKER_ESTIMATOR = spec.build()
-    except BaseException as exc:  # noqa: BLE001 — re-raised per task
-        _WORKER_ESTIMATOR = None
-        _WORKER_INIT_ERROR = exc
-        return
-    _WORKER_INIT_ERROR = None
-    _WORKER_STATS_INSTALLED = False
-    # On fork start, workers inherit the coordinator heap (recipe
-    # lists, caches) copy-on-write.  Freezing moves those objects out
-    # of the cyclic GC's reach so collection cycles in the worker do
-    # not touch — and therefore copy — inherited pages.
-    gc.freeze()
-
-
-def _require_estimator() -> NutritionEstimator:
-    if _WORKER_ESTIMATOR is None:
-        raise _WORKER_INIT_ERROR or RuntimeError(
-            "pool worker has no estimator (initializer did not run)"
-        )
-    return _WORKER_ESTIMATOR
-
-
-def _collect_chunk(chunk: list[tuple[str, int]]):
-    """Phase-1 task: wire estimates + observation snapshot for a chunk."""
-    _require_estimator()
-    estimates, snapshot = _WORKER_ESTIMATOR.corpus_collect_estimates(chunk)
-    wire = dumps_estimates(
-        [estimates[text] for text, _ in chunk], _WORKER_ESTIMATOR.database
+    ``payload`` is ``(base_ordinal, chunk, quarantine_on)``.  Returns
+    ``(wire, snapshot, dead_letter_records)``.
+    """
+    base_ordinal, chunk, quarantine_on = payload
+    plan = faults.active_plan()
+    if plan is not None:
+        plan.fire("collect-chunk", task_id, attempt)
+    log = DeadLetterLog() if quarantine_on else None
+    estimates, snapshot = state.estimator.corpus_collect_estimates(
+        chunk, quarantine=log, ordinal_base=base_ordinal
     )
-    return wire, snapshot
+    wire = dumps_estimates(
+        [estimates[text] for text, _ in chunk], state.estimator.database
+    )
+    return wire, snapshot, (log.records if log is not None else ())
 
 
-def _fallback_chunk(task):
+def _fallback_task(state: WorkerState, payload, task_id: int, attempt: int):
     """Phase-3 task: re-estimate texts against the merged statistics.
 
-    The merged snapshot rides along with each task; a worker installs
-    it once (the engine uses one pool per run, so the snapshot cannot
-    change under a live worker).
+    ``payload`` is ``(snapshot, items, quarantine_on)`` with ``items``
+    a list of ``(ordinal, text)``.  The merged snapshot rides along
+    with each task and a worker installs it once — which is also what
+    makes a worker respawned mid-phase-3 correct: its fresh
+    :class:`WorkerState` installs the snapshot from its next task.
+    Returns ``(present_indices, wire, dead_letter_records)`` where
+    ``present_indices`` are the positions in *items* that produced an
+    estimate (a line quarantined here keeps its phase-1 estimate).
     """
-    global _WORKER_STATS_INSTALLED
-    _require_estimator()
-    snapshot, texts = task
-    if not _WORKER_STATS_INSTALLED:
-        fallback = _WORKER_ESTIMATOR.fallback
+    snapshot, items, quarantine_on = payload
+    plan = faults.active_plan()
+    if plan is not None:
+        plan.fire("fallback-chunk", task_id, attempt)
+    if not state.stats_installed:
+        fallback = state.estimator.fallback
         fallback.clear()
         fallback.merge(snapshot)
-        _WORKER_STATS_INSTALLED = True
-    estimates = _WORKER_ESTIMATOR.corpus_fallback_estimates(texts)
-    return dumps_estimates(
-        [estimates[text] for text in texts], _WORKER_ESTIMATOR.database
+        state.stats_installed = True
+    log = DeadLetterLog() if quarantine_on else None
+    texts = [text for _, text in items]
+    estimates = state.estimator.corpus_fallback_estimates(
+        texts,
+        quarantine=log,
+        ordinals={text: ordinal for ordinal, text in items},
     )
+    present = [i for i, text in enumerate(texts) if text in estimates]
+    wire = dumps_estimates(
+        [estimates[texts[i]] for i in present], state.estimator.database
+    )
+    return present, wire, (log.records if log is not None else ())
+
+
+_HANDLERS = {
+    "collect-chunk": _collect_task,
+    "fallback-chunk": _fallback_task,
+}
 
 
 # ----------------------------------------------------------------------
 # coordinator
 
-def _chunked(items: Iterable, size: int) -> Iterator[list]:
+def _chunked(items, size: int) -> Iterator[list]:
     iterator = iter(items)
     while chunk := list(islice(iterator, size)):
         yield chunk
 
 
 class ShardedCorpusEstimator:
-    """Corpus estimation across a process pool with exact parity.
+    """Corpus estimation across a supervised process pool with exact
+    parity.
 
     Parameters
     ----------
@@ -155,8 +195,21 @@ class ShardedCorpusEstimator:
         Distinct ingredient lines per pool task.  Bigger chunks
         amortize task/pickle overhead; smaller chunks balance load.
     max_pending:
-        In-flight chunk cap for the bounded imap feeder (default
-        ``4 * workers``).
+        Retained for API compatibility; the supervised pool holds at
+        most one task per worker, so in-flight work is already
+        bounded tighter than any sensible value of this.
+    quarantine:
+        With ``True``, malformed JSONL corpus lines and ingredient
+        lines whose estimation raises are diverted to dead-letter
+        records on :attr:`last_report` instead of aborting the run.
+        Default ``False``: strict mode, every failure propagates
+        (the seed behaviour, and what the parity suites pin).
+    chunk_deadline_s:
+        Per-chunk wall-clock budget before a worker is presumed hung
+        and replaced (``None`` disables hang detection).
+    max_chunk_retries:
+        Re-dispatches allowed per chunk lost to a crashed or hung
+        worker before :class:`ChunkRetriesExhaustedError`.
     """
 
     def __init__(
@@ -166,18 +219,36 @@ class ShardedCorpusEstimator:
         workers: int | None = None,
         chunk_size: int = 512,
         max_pending: int | None = None,
+        quarantine: bool = False,
+        chunk_deadline_s: float | None = DEFAULT_CHUNK_DEADLINE_S,
+        max_chunk_retries: int = DEFAULT_MAX_CHUNK_RETRIES,
     ):
         if workers is not None and workers < 1:
             raise ValueError(f"workers must be >= 1: {workers}")
         if chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1: {chunk_size}")
+        if max_chunk_retries < 0:
+            raise ValueError(
+                f"max_chunk_retries must be >= 0: {max_chunk_retries}"
+            )
         self._spec = spec or EstimatorSpec()
-        self._workers = workers if workers is not None else (os.cpu_count() or 1)
+        if workers is not None:
+            self._workers = workers
+        else:
+            import os
+
+            self._workers = os.cpu_count() or 1
         self._chunk_size = chunk_size
-        self._max_pending = max_pending or 4 * self._workers
+        self._quarantine = quarantine
+        self._chunk_deadline_s = chunk_deadline_s
+        self._max_chunk_retries = max_chunk_retries
         self._local: NutritionEstimator | None = None
         self._foods = None
         self._pinned_fingerprint: str | None = None
+        #: Supervision counters and dead letters for the most recent
+        #: corpus run (None until a run happens).  Refreshed at the
+        #: start of every run; read it before starting the next one.
+        self.last_report: RunReport | None = None
         if self._spec.artifact_path is not None:
             # Pin the artifact version now: the coordinator's food
             # list (the wire codec's index space) must come from the
@@ -210,9 +281,20 @@ class ShardedCorpusEstimator:
 
     # ------------------------------------------------------------------
 
-    @staticmethod
-    def _stream(source: CorpusSource) -> Iterator[Recipe]:
+    def _stream(
+        self, source: CorpusSource, dead_letters: DeadLetterLog | None = None
+    ) -> Iterator[Recipe]:
+        """One corpus traversal, quarantine-aware for JSONL sources.
+
+        With quarantine on, malformed lines are skipped on **every**
+        pass (both passes must see the identical recipe stream) but
+        recorded only on the pass that supplies *dead_letters*.
+        """
         if isinstance(source, (str, Path)):
+            if self._quarantine:
+                return iter_recipes_jsonl(
+                    source, on_error="skip", dead_letters=dead_letters
+                )
             return iter_recipes_jsonl(source)
         if isinstance(source, Sequence):
             return iter(source)
@@ -220,6 +302,10 @@ class ShardedCorpusEstimator:
             "corpus source must be a Sequence[Recipe] or a JSONL path "
             f"(the engine traverses it twice), got {type(source).__name__}"
         )
+
+    def _begin_run(self) -> RunReport:
+        self.last_report = RunReport(workers=self._workers)
+        return self.last_report
 
     def estimate_corpus(self, source: CorpusSource) -> list[RecipeEstimate]:
         """All recipe estimates, in corpus order."""
@@ -234,14 +320,15 @@ class ShardedCorpusEstimator:
         them, so a consumer that writes them out keeps memory bounded
         by the distinct-line estimate table.
         """
+        report = self._begin_run()
         # Distinct-line working set in first-occurrence order (Counter
         # preserves insertion order; counting runs at C speed).
         counts = Counter(
             text
-            for recipe in self._stream(source)
+            for recipe in self._stream(source, report.dead_letters)
             for text in recipe.ingredient_texts
         )
-        estimates = self.estimate_table(counts)
+        estimates = self._estimate_table_into(counts, report)
         finish = NutritionEstimator.finish_recipe
         for recipe in self._stream(source):
             yield finish(
@@ -258,12 +345,13 @@ class ShardedCorpusEstimator:
         every line, weighted by occurrence count, to the §II-C
         strategy that resolved or killed it.
         """
+        report = self._begin_run()
         counts = Counter(
             text
-            for recipe in self._stream(source)
+            for recipe in self._stream(source, report.dead_letters)
             for text in recipe.ingredient_texts
         )
-        table = self.estimate_table(counts)
+        table = self._estimate_table_into(counts, report)
         return reason_breakdown_from_lines(
             (table[text], count) for text, count in counts.items()
         )
@@ -282,31 +370,42 @@ class ShardedCorpusEstimator:
         for callers that already hold a distinct-line table — the HTTP
         service's batch endpoint assembles its own recipes from this.
         Dispatches to the in-process estimator at ``workers=1`` and to
-        the pool otherwise; results are bit-identical either way.
+        the supervised pool otherwise; results are bit-identical
+        either way.
         """
-        if self._workers == 1:
-            return self._run_local(counts)
-        return self._run_pool(counts)
+        return self._estimate_table_into(counts, self._begin_run())
 
-    def _run_local(self, counts: dict[str, int]) -> dict[str, IngredientEstimate]:
-        return self._local_estimator().corpus_estimate_table(counts)
+    def _estimate_table_into(
+        self, counts: dict[str, int], report: RunReport
+    ) -> dict[str, IngredientEstimate]:
+        if self._workers == 1:
+            return self._run_local(counts, report)
+        return self._run_pool(counts, report)
+
+    def _run_local(
+        self, counts: dict[str, int], report: RunReport
+    ) -> dict[str, IngredientEstimate]:
+        log = report.dead_letters if self._quarantine else None
+        return self._local_estimator().corpus_estimate_table(
+            counts, quarantine=log
+        )
 
     def _worker_spec(self) -> EstimatorSpec:
         """The spec shipped to pool workers.
 
         For artifact-backed specs the coordinator pins the database
         fingerprint it loaded at construction onto the worker spec:
-        workers re-read the artifact file at pool start-up, and the
-        wire codec decodes foods by database *index* against the
-        coordinator's list — if the file were swapped for one built
-        against different data between the coordinator's load and a
-        later pool spawn (e.g. a deploy refreshing the artifact under
-        a running service), the indices would silently resolve to the
-        wrong foods.  Pinning routes that race into
-        ``EstimatorSpec``'s fingerprint check, so every worker either
-        loads the identical database or fails its pool task with a
-        typed ``ArtifactMismatchError`` — at the cost of one string
-        in initargs, not a pickled food list.
+        workers re-read the artifact file at pool start-up — and again
+        on every supervised **respawn** — and the wire codec decodes
+        foods by database *index* against the coordinator's list.  If
+        the file were swapped for one built against different data
+        between the coordinator's load and a later spawn (e.g. a
+        deploy refreshing the artifact under a running service), the
+        indices would silently resolve to the wrong foods.  Pinning
+        routes that race into ``EstimatorSpec``'s fingerprint check,
+        so every worker either loads the identical database or fails
+        with a typed ``ArtifactMismatchError`` — at the cost of one
+        string in the spawn args, not a pickled food list.
         """
         if (
             self._pinned_fingerprint is None
@@ -317,76 +416,64 @@ class ShardedCorpusEstimator:
             self._spec, expected_fingerprint=self._pinned_fingerprint
         )
 
-    def _run_pool(self, counts: dict[str, int]) -> dict[str, IngredientEstimate]:
+    def _run_pool(
+        self, counts: dict[str, int], report: RunReport
+    ) -> dict[str, IngredientEstimate]:
         foods = self._food_list()
         merged_fallback = UnitFallback(self._spec.max_grams)
         estimates: dict[str, IngredientEstimate] = {}
-        context = mp.get_context()
-        with context.Pool(
+        chunks = list(_chunked(counts.items(), self._chunk_size))
+        if not chunks:
+            return estimates
+        quarantine_on = self._quarantine
+        with SupervisedWorkerPool(
+            self._worker_spec(),
+            _HANDLERS,
             self._workers,
-            initializer=_init_worker,
-            initargs=(self._worker_spec(),),
+            deadline_s=self._chunk_deadline_s,
+            max_retries=self._max_chunk_retries,
         ) as pool:
-            # Phase 1+2: collect shards, merge snapshots in chunk order.
-            chunks = list(_chunked(counts.items(), self._chunk_size))
-            for chunk, (wire, snapshot) in zip(
-                chunks,
-                self._imap_bounded(pool, _collect_chunk, chunks),
+            # Phase 1+2: collect shards, merge snapshots in chunk
+            # order.  The supervised pool yields results in task order
+            # even when a retry finishes out of sequence, so the merge
+            # order — and therefore the tie-break-exact table — is
+            # independent of failures.
+            payloads = [
+                (index * self._chunk_size, chunk, quarantine_on)
+                for index, chunk in enumerate(chunks)
+            ]
+            for chunk, (wire, snapshot, letters) in zip(
+                chunks, pool.run("collect-chunk", payloads)
             ):
                 merged_fallback.merge(snapshot)
+                report.dead_letters.extend(list(letters))
                 for (text, _), estimate in zip(
                     chunk, loads_estimates(wire, foods)
                 ):
                     estimates[text] = estimate
             # Phase 3: re-estimate fallback candidates against the
             # frozen merged table.
+            ordinals = {text: i for i, text in enumerate(counts)}
             pending = [
-                text
+                (ordinals[text], text)
                 for text, estimate in estimates.items()
                 if estimate.status == STATUS_NAME_ONLY
             ]
             snapshot = merged_fallback.snapshot()
-            tasks = [
-                (snapshot, chunk)
-                for chunk in _chunked(pending, self._chunk_size)
+            fallback_chunks = list(_chunked(pending, self._chunk_size))
+            payloads = [
+                (snapshot, items, quarantine_on)
+                for items in fallback_chunks
             ]
-            for (_, chunk), wire in zip(
-                tasks,
-                self._imap_bounded(pool, _fallback_chunk, tasks),
+            for items, (present, wire, letters) in zip(
+                fallback_chunks, pool.run("fallback-chunk", payloads)
             ):
-                for text, estimate in zip(chunk, loads_estimates(wire, foods)):
-                    estimates[text] = estimate
+                report.dead_letters.extend(list(letters))
+                for i, estimate in zip(present, loads_estimates(wire, foods)):
+                    estimates[items[i][1]] = estimate
+            stats = pool.stats
+        report.retries = stats.retries
+        report.respawns = stats.respawns
+        report.worker_crashes = stats.crashes
+        report.hung_workers = stats.hung
         return estimates
-
-    def _imap_bounded(
-        self, pool, fn: Callable, tasks: Iterable
-    ) -> Iterator:
-        """``pool.imap`` with at most ``max_pending`` tasks in flight.
-
-        ``Pool.imap``'s feeder thread drains its input greedily; the
-        semaphore makes it stall until results are consumed, keeping
-        queued tasks (and their pickled payloads) bounded.
-
-        The feeder must never block forever: if the consumer stops
-        early (worker exception, ``KeyboardInterrupt``, abandoned
-        generator), ``Pool`` shutdown joins its task-handler thread,
-        which sits inside ``gated()`` — an unconditional ``acquire``
-        there would deadlock the whole process.  Hence the polling
-        acquire with an abort event, set in the ``finally`` below.
-        """
-        gate = threading.Semaphore(self._max_pending)
-        abort = threading.Event()
-
-        def gated() -> Iterator:
-            for task in tasks:
-                while not gate.acquire(timeout=0.05):
-                    if abort.is_set():
-                        return
-                yield task
-
-        try:
-            for result in pool.imap(fn, gated()):
-                gate.release()
-                yield result
-        finally:
-            abort.set()

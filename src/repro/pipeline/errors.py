@@ -1,0 +1,35 @@
+"""Typed failures of the supervised sharded engine.
+
+Callers that want to degrade gracefully (the HTTP service's circuit
+breaker) catch :class:`PipelineError`; everything the supervision
+layer can give up on derives from it.  Worker *initialization*
+failures are not wrapped: a typed
+:class:`~repro.artifacts.errors.ArtifactMismatchError` from a swapped
+artifact re-raises as itself, exactly as the pre-supervision engine
+did.
+"""
+
+from __future__ import annotations
+
+
+class PipelineError(RuntimeError):
+    """Base class for supervised-engine failures."""
+
+
+class ChunkRetriesExhaustedError(PipelineError):
+    """A chunk failed on every healthy worker it was retried on.
+
+    Raised after ``1 + max_chunk_retries`` attempts, each on a
+    freshly respawned or different worker — at that point the failure
+    is systematic (every worker crashes or hangs on this input), not
+    transient, and retrying further would loop forever.
+    """
+
+    def __init__(self, message: str, *, chunk_id: int, attempts: int):
+        super().__init__(message)
+        self.chunk_id = chunk_id
+        self.attempts = attempts
+
+
+class WorkerPoolError(PipelineError):
+    """The pool itself is unusable (e.g. workers die before serving)."""

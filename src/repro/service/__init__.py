@@ -16,7 +16,15 @@ Endpoints (full schemas in ``docs/api.md``)::
     POST /v1/match           closest-description lookup
     POST /v1/parse           NER entity extraction
     GET  /healthz            liveness
+    GET  /readyz             readiness (503 while draining/saturated)
     GET  /metrics            per-endpoint counters + latency percentiles
+                             + resilience counters
+
+Requests are governed by the resilience layer
+(:mod:`repro.service.resilience`): per-request deadlines (504),
+bounded admission with load shedding (503 + ``Retry-After``), and a
+circuit breaker that degrades the sharded batch path to in-process
+estimation (bit-identical results) when the pool misbehaves.
 
 Modules:
 
@@ -25,9 +33,11 @@ Modules:
 * :mod:`repro.service.codec`    — request validation/normalization and
   response encoding,
 * :mod:`repro.service.handlers` — route table + dispatch (caching,
-  metrics, typed errors),
+  admission, deadlines, metrics, typed errors),
+* :mod:`repro.service.resilience` — :class:`Deadline`,
+  :class:`AdmissionController`, :class:`CircuitBreaker`,
 * :mod:`repro.service.server`   — :class:`NutritionService` and the
-  blocking :func:`serve` entry point (graceful shutdown),
+  blocking :func:`serve` entry point (graceful drain + shutdown),
 * :mod:`repro.service.metrics`  — the ``/metrics`` registry,
 * :mod:`repro.service.errors`   — the typed error hierarchy.
 

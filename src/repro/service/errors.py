@@ -33,6 +33,11 @@ class ServiceError(Exception):
             error["field"] = self.field
         return {"error": error}
 
+    def headers(self) -> tuple[tuple[str, str], ...]:
+        """Extra response headers this failure carries (e.g.
+        ``Retry-After``)."""
+        return ()
+
 
 class ValidationError(ServiceError):
     """Request payload failed schema validation (HTTP 400).
@@ -81,6 +86,43 @@ class PayloadTooLargeError(ServiceError):
 
     status = 413
     code = "payload_too_large"
+
+
+class ServiceOverloadedError(ServiceError):
+    """Request shed by admission control (HTTP 503).
+
+    Carries a ``Retry-After`` header so well-behaved clients back off
+    instead of hammering a saturated service.
+    """
+
+    status = 503
+    code = "overloaded"
+
+    def __init__(self, message: str, *, retry_after_s: int = 1):
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+    def to_body(self) -> dict:
+        body = super().to_body()
+        body["error"]["retry_after_s"] = self.retry_after_s
+        return body
+
+    def headers(self) -> tuple[tuple[str, str], ...]:
+        return (("Retry-After", str(self.retry_after_s)),)
+
+
+class ServiceNotReadyError(ServiceError):
+    """``/readyz`` answer while draining or saturated (HTTP 503)."""
+
+    status = 503
+    code = "not_ready"
+
+
+class DeadlineExceededError(ServiceError):
+    """Request exceeded its server-side time budget (HTTP 504)."""
+
+    status = 504
+    code = "deadline_exceeded"
 
 
 class InternalError(ServiceError):

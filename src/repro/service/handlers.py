@@ -1,19 +1,29 @@
 """Endpoint routing and the request dispatch path.
 
 One table (:data:`ENDPOINTS`) declares everything per endpoint —
-method, validator, state method, cacheability — and :func:`dispatch`
-wraps it with everything common to every request: method checking,
-payload validation, response caching, metrics, and the typed-error
-contract (any :class:`ServiceError` becomes its JSON envelope;
-anything else becomes a generic 500 so tracebacks never leak to
-clients).
+method, validator, state method, cacheability, admission — and
+:func:`dispatch` wraps it with everything common to every request:
+method checking, payload validation, response caching, admission
+control, per-request deadlines, metrics, and the typed-error contract
+(any :class:`ServiceError` becomes its JSON envelope plus any headers
+it carries, e.g. ``Retry-After`` on 503; anything else becomes a
+generic 500 so tracebacks never leak to clients).
 
 Cacheable endpoints (the five ``POST /v1/*`` ones — ``/v1/explain``
 included, whose response is a pure function of its payload) are
 looked up in / stored to the response cache as **serialized bytes**:
 a hit skips validation-to-encoding entirely and the server writes the
-bytes straight to the socket.  ``/healthz`` and ``/metrics`` are
-never cached.
+bytes straight to the socket.  ``/healthz``, ``/readyz`` and
+``/metrics`` are never cached.
+
+The same five POST endpoints are the **admitted** ones: they do real
+estimation work, so they pass through the
+:class:`~repro.service.resilience.AdmissionController` (bounded
+concurrency, bounded queue, 503 shed beyond that) and run under the
+request :class:`~repro.service.resilience.Deadline`.  Introspection
+endpoints bypass admission — health checks and metrics scrapes must
+keep answering precisely when the service is saturated — and cache
+hits bypass it too (a memcpy does not need a concurrency slot).
 """
 
 from __future__ import annotations
@@ -25,11 +35,13 @@ from dataclasses import dataclass
 
 from repro.service import codec
 from repro.service.errors import (
+    DeadlineExceededError,
     InternalError,
     MethodNotAllowedError,
     NotFoundError,
     ServiceError,
 )
+from repro.service.resilience import Deadline
 from repro.service.state import ServiceState
 
 log = logging.getLogger("repro.service")
@@ -42,6 +54,7 @@ class Response:
     status: int
     body: bytes
     cache_hit: bool = False
+    headers: tuple[tuple[str, str], ...] = ()
 
 
 @dataclass(frozen=True, slots=True)
@@ -51,47 +64,51 @@ class Endpoint:
     ``validate`` turns the decoded JSON payload into a request object
     (``None`` for bodyless GET endpoints, whose ``invoke`` receives
     the raw payload); ``invoke`` calls the matching
-    :class:`ServiceState` method.  ``cacheable`` routes additionally
-    get normalized-payload response caching in :func:`dispatch`.
+    :class:`ServiceState` method with the request deadline.
+    ``cacheable`` routes additionally get normalized-payload response
+    caching and admission control in :func:`dispatch`.
     """
 
     validate: Callable | None
-    invoke: Callable[[ServiceState, object], dict]
+    invoke: Callable[[ServiceState, object, Deadline | None], dict]
     cacheable: bool = False
 
 
 #: The single routing table: (method, path) -> endpoint spec.
 ENDPOINTS: dict[tuple[str, str], Endpoint] = {
     ("GET", "/healthz"): Endpoint(
-        validate=None, invoke=lambda state, _payload: state.healthz()
+        validate=None, invoke=lambda state, _payload, _dl: state.healthz()
+    ),
+    ("GET", "/readyz"): Endpoint(
+        validate=None, invoke=lambda state, _payload, _dl: state.readyz()
     ),
     ("GET", "/metrics"): Endpoint(
         validate=None,
-        invoke=lambda state, _payload: state.metrics_snapshot(),
+        invoke=lambda state, _payload, _dl: state.metrics_snapshot(),
     ),
     ("POST", "/v1/estimate"): Endpoint(
         validate=codec.validate_estimate,
-        invoke=lambda state, request: state.estimate(request),
+        invoke=lambda state, request, dl: state.estimate(request, dl),
         cacheable=True,
     ),
     ("POST", "/v1/estimate_batch"): Endpoint(
         validate=codec.validate_batch,
-        invoke=lambda state, request: state.estimate_batch(request),
+        invoke=lambda state, request, dl: state.estimate_batch(request, dl),
         cacheable=True,
     ),
     ("POST", "/v1/match"): Endpoint(
         validate=codec.validate_match,
-        invoke=lambda state, request: state.match(request),
+        invoke=lambda state, request, _dl: state.match(request),
         cacheable=True,
     ),
     ("POST", "/v1/parse"): Endpoint(
         validate=codec.validate_parse,
-        invoke=lambda state, request: state.parse(request),
+        invoke=lambda state, request, _dl: state.parse(request),
         cacheable=True,
     ),
     ("POST", "/v1/explain"): Endpoint(
         validate=codec.validate_explain,
-        invoke=lambda state, request: state.explain(request),
+        invoke=lambda state, request, _dl: state.explain(request),
         cacheable=True,
     ),
 }
@@ -114,11 +131,11 @@ def _route(method: str, path: str) -> Endpoint:
 def dispatch(state: ServiceState, method: str, path: str, payload) -> Response:
     """Handle one decoded request end to end.
 
-    Never raises: every outcome — success, typed client error,
-    unexpected server fault — returns a :class:`Response`, and every
-    outcome is recorded in the metrics registry under its endpoint
-    path (unknown paths aggregate under ``(unknown)`` so a scanner
-    cannot grow the registry without bound).
+    Never raises: every outcome — success, typed client error, shed,
+    deadline, unexpected server fault — returns a :class:`Response`,
+    and every outcome is recorded in the metrics registry under its
+    endpoint path (unknown paths aggregate under ``(unknown)`` so a
+    scanner cannot grow the registry without bound).
     """
     metric_name = path if path in _KNOWN_PATHS else "(unknown)"
     started = time.perf_counter()
@@ -138,16 +155,28 @@ def dispatch(state: ServiceState, method: str, path: str, payload) -> Response:
                     metric_name, time.perf_counter() - started, cache_hit=True
                 )
                 return Response(200, cached, cache_hit=True)
-        body = codec.dumps_body(endpoint.invoke(state, request))
+        timeout_s = state.config.request_timeout_s
+        deadline = Deadline(timeout_s) if timeout_s is not None else None
+        if endpoint.cacheable:
+            with state.admission.admitted(deadline):
+                body = codec.dumps_body(
+                    endpoint.invoke(state, request, deadline)
+                )
+        else:
+            body = codec.dumps_body(endpoint.invoke(state, request, deadline))
         if key is not None:
             state.store_response(key, body)
         state.metrics.observe(metric_name, time.perf_counter() - started)
         return Response(200, body)
     except ServiceError as exc:
+        if isinstance(exc, DeadlineExceededError):
+            state.note_deadline_exceeded()
         state.metrics.observe(
             metric_name, time.perf_counter() - started, error=True
         )
-        return Response(exc.status, codec.dumps_body(exc.to_body()))
+        return Response(
+            exc.status, codec.dumps_body(exc.to_body()), headers=exc.headers()
+        )
     except Exception:
         log.exception("unhandled error in %s %s", method, path)
         state.metrics.observe(

@@ -25,6 +25,7 @@ import json
 import logging
 import signal
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro import __version__
@@ -67,10 +68,19 @@ class _RequestHandler(BaseHTTPRequestHandler):
         try:
             payload = self._read_payload()
         except ServiceError as exc:
-            self._write(exc.status, json.dumps(exc.to_body()).encode())
+            self._write(
+                exc.status,
+                json.dumps(exc.to_body()).encode(),
+                headers=exc.headers(),
+            )
             return
         response = dispatch(self.state, method, self.path, payload)
-        self._write(response.status, response.body, response.cache_hit)
+        self._write(
+            response.status,
+            response.body,
+            response.cache_hit,
+            headers=response.headers,
+        )
 
     def _read_payload(self):
         """Decode the request body (``None`` for bodyless requests)."""
@@ -104,12 +114,20 @@ class _RequestHandler(BaseHTTPRequestHandler):
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
             raise InvalidJSONError(f"request body is not valid JSON: {exc}")
 
-    def _write(self, status: int, body: bytes, cache_hit: bool = False) -> None:
+    def _write(
+        self,
+        status: int,
+        body: bytes,
+        cache_hit: bool = False,
+        headers: tuple[tuple[str, str], ...] = (),
+    ) -> None:
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
         if cache_hit:
             self.send_header("X-Cache", "hit")
+        for name, value in headers:
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -167,9 +185,34 @@ class NutritionService:
         self._thread.start()
         return self
 
+    #: How long shutdown waits for in-flight estimation requests.
+    DRAIN_TIMEOUT_S = 5.0
+
     def shutdown(self) -> None:
-        """Graceful stop: finish in-flight requests, close the socket."""
+        """Graceful stop: drain in-flight requests, close the socket.
+
+        Ordering matters.  ``/readyz`` flips to 503 first (a load
+        balancer stops routing here), then the accept loop stops, then
+        we *wait for the admission controller to drain*: handler
+        threads are daemons — ``ThreadingHTTPServer`` never joins them
+        — so without this wait, process exit right after ``shutdown()``
+        would kill responses mid-write.  Requests still running after
+        :attr:`DRAIN_TIMEOUT_S` are abandoned (they hold the process
+        open only if it waits; a drain deadline keeps shutdown
+        bounded).
+        """
+        self.state.draining = True
         self._server.shutdown()
+        drain_until = time.monotonic() + self.DRAIN_TIMEOUT_S
+        while not self.state.admission.drained():
+            if time.monotonic() >= drain_until:
+                log.warning(
+                    "drain timeout: %d request(s) still in flight at "
+                    "shutdown",
+                    self.state.admission.active,
+                )
+                break
+            time.sleep(0.02)
         if self._thread is not None:
             self._thread.join(timeout=5.0)
             self._thread = None

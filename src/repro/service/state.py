@@ -25,18 +25,29 @@ hits and ``/healthz``/``/metrics`` never take it.
 from __future__ import annotations
 
 import dataclasses
+import logging
 import threading
 from collections import Counter
 from dataclasses import dataclass, field
 
-from repro import __version__
+from repro import __version__, faults
 from repro.core.estimator import NutritionEstimator
 from repro.core.explain import explain_line
-from repro.pipeline.engine import ShardedCorpusEstimator
+from repro.deadletter import DeadLetterLog
+from repro.pipeline.engine import RunReport, ShardedCorpusEstimator
+from repro.pipeline.errors import PipelineError
 from repro.pipeline.spec import EstimatorSpec
 from repro.service import codec
+from repro.service.errors import ServiceNotReadyError
 from repro.service.metrics import ServiceMetrics
+from repro.service.resilience import (
+    AdmissionController,
+    CircuitBreaker,
+    Deadline,
+)
 from repro.utils import BoundedCache
+
+log = logging.getLogger("repro.service")
 
 #: Default entry cap for the response cache.
 DEFAULT_RESPONSE_CACHE_CAP = 4096
@@ -79,7 +90,28 @@ class ServiceConfig:
         (``repro serve --artifact``) that build is a snapshot load —
         the service and every worker cold-start in milliseconds.
     max_body_bytes:
-        Request bodies above this size are rejected with HTTP 413.
+        Request bodies above this size are rejected with HTTP 413
+        before the body is read (``repro serve --max-body-bytes``).
+    request_timeout_s:
+        Per-request time budget for the estimation endpoints; a
+        request that exceeds it gets HTTP 504 (``deadline_exceeded``)
+        at the next cooperative checkpoint.  ``None`` disables
+        deadlines.
+    max_concurrent / max_queue:
+        Admission control for the estimation endpoints:
+        ``max_concurrent`` requests estimate at once, ``max_queue``
+        more wait, the rest are shed with HTTP 503 + ``Retry-After``.
+    breaker_threshold / breaker_cooldown_s:
+        Circuit breaker around the sharded batch engine: after
+        ``breaker_threshold`` consecutive engine failures, batch
+        requests degrade to the in-process estimator (bit-identical
+        results) for ``breaker_cooldown_s`` before a probe retries
+        the engine.
+    engine_min_lines:
+        Distinct-line threshold below which a batch skips the engine
+        even with ``workers > 1`` (pool fan-out costs more than small
+        tables are worth).  Exposed mainly so resilience tests can
+        force the engine path with small corpora.
     """
 
     host: str = "127.0.0.1"
@@ -88,6 +120,12 @@ class ServiceConfig:
     cache_cap: int = DEFAULT_RESPONSE_CACHE_CAP
     spec: EstimatorSpec = field(default_factory=EstimatorSpec)
     max_body_bytes: int = 1 << 20
+    request_timeout_s: float | None = 30.0
+    max_concurrent: int = 8
+    max_queue: int = 32
+    breaker_threshold: int = 3
+    breaker_cooldown_s: float = 30.0
+    engine_min_lines: int = ENGINE_MIN_DISTINCT_LINES
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -99,6 +137,30 @@ class ServiceConfig:
         if self.max_body_bytes < 1:
             raise ValueError(
                 f"max_body_bytes must be >= 1: {self.max_body_bytes}"
+            )
+        if self.request_timeout_s is not None and self.request_timeout_s <= 0:
+            raise ValueError(
+                "request_timeout_s must be positive or None: "
+                f"{self.request_timeout_s}"
+            )
+        if self.max_concurrent < 1:
+            raise ValueError(
+                f"max_concurrent must be >= 1: {self.max_concurrent}"
+            )
+        if self.max_queue < 0:
+            raise ValueError(f"max_queue must be >= 0: {self.max_queue}")
+        if self.breaker_threshold < 1:
+            raise ValueError(
+                f"breaker_threshold must be >= 1: {self.breaker_threshold}"
+            )
+        if self.breaker_cooldown_s <= 0:
+            raise ValueError(
+                f"breaker_cooldown_s must be positive: "
+                f"{self.breaker_cooldown_s}"
+            )
+        if self.engine_min_lines < 1:
+            raise ValueError(
+                f"engine_min_lines must be >= 1: {self.engine_min_lines}"
             )
 
 
@@ -130,10 +192,26 @@ class ServiceState:
                 ),
             )
         self._engine: ShardedCorpusEstimator | None = (
-            ShardedCorpusEstimator(engine_spec, workers=config.workers)
+            ShardedCorpusEstimator(
+                engine_spec, workers=config.workers, quarantine=True
+            )
             if config.workers > 1
             else None
         )
+        # Resilience machinery (see repro.service.resilience).
+        self.admission = AdmissionController(
+            config.max_concurrent, config.max_queue
+        )
+        self.breaker = CircuitBreaker(
+            config.breaker_threshold, config.breaker_cooldown_s
+        )
+        #: Set by the server at the start of graceful shutdown;
+        #: flips /readyz to 503 while in-flight requests drain.
+        self.draining = False
+        self._resilience_lock = threading.Lock()
+        self._pipeline_counters: Counter[str] = Counter()
+        self._degraded_batches = 0
+        self._deadline_exceeded = 0
         self._estimator_lock = threading.Lock()
         # Separate lock for engine fan-out: the pool never touches the
         # shared estimator, so a large batch must not stall concurrent
@@ -170,33 +248,133 @@ class ServiceState:
             }
 
     # ------------------------------------------------------------------
+    # resilience accounting
+
+    def absorb_report(self, report: RunReport | None) -> None:
+        """Fold one engine :class:`RunReport` into /metrics counters."""
+        if report is None:
+            return
+        with self._resilience_lock:
+            self._pipeline_counters.update(report.counters())
+
+    def note_dead_letters(self, count: int) -> None:
+        if count:
+            with self._resilience_lock:
+                self._pipeline_counters["dead_lettered"] += count
+
+    def note_degraded_batch(self) -> None:
+        with self._resilience_lock:
+            self._degraded_batches += 1
+
+    def note_deadline_exceeded(self) -> None:
+        with self._resilience_lock:
+            self._deadline_exceeded += 1
+
+    def resilience_snapshot(self) -> dict:
+        with self._resilience_lock:
+            pipeline = {
+                "retries": self._pipeline_counters["retries"],
+                "respawns": self._pipeline_counters["respawns"],
+                "worker_crashes": self._pipeline_counters["worker_crashes"],
+                "hung_workers": self._pipeline_counters["hung_workers"],
+                "dead_lettered": self._pipeline_counters["dead_lettered"],
+            }
+            degraded = self._degraded_batches
+            deadline_exceeded = self._deadline_exceeded
+        return {
+            "pipeline": pipeline,
+            "admission": self.admission.snapshot(),
+            "breaker": self.breaker.snapshot(),
+            "degraded_batches": degraded,
+            "deadline_exceeded_total": deadline_exceeded,
+        }
+
+    # ------------------------------------------------------------------
     # estimation endpoints
 
-    def _estimate_table(self, counts: dict[str, int]) -> dict:
+    def _checkpoint(self, deadline: Deadline | None, phase: str) -> None:
+        """Fault-injection hook + cooperative deadline check."""
+        plan = faults.active_plan()
+        if plan is not None:
+            plan.fire("service-estimate", 0)
+        if deadline is not None:
+            deadline.check(phase)
+
+    def _local_table(
+        self, counts: dict[str, int], deadline: Deadline | None
+    ) -> dict:
+        self._checkpoint(deadline, "estimation")
+        quarantine = DeadLetterLog()
+        with self._estimator_lock:
+            table = self._estimator.corpus_estimate_table(
+                counts, quarantine=quarantine
+            )
+        self.note_dead_letters(len(quarantine))
+        return table
+
+    def _estimate_table(
+        self, counts: dict[str, int], deadline: Deadline | None = None
+    ) -> dict:
         """Distinct-line table -> final estimates, engine or in-process.
 
         Both paths run the identical two-phase corpus protocol, so the
         choice is invisible in the response (the engine's exact-parity
         guarantee).  The engine path spins a process pool per request
         — each worker rebuilds its estimator from the spec — so it
-        only engages past ``ENGINE_MIN_DISTINCT_LINES``, where the
+        only engages past ``config.engine_min_lines``, where the
         fan-out amortizes the start-up; it runs under its own lock so
         a large batch never stalls single-recipe traffic.
+
+        The engine path sits behind the circuit breaker: an engine
+        failure (chunk retry budget exhausted, pool unusable, artifact
+        mismatch on respawn) records a breaker failure and the request
+        **degrades to the in-process estimator**, which returns the
+        bit-identical table — the client sees a slower response, not
+        an error.  With the breaker open, batches skip the failing
+        fan-out entirely until the cooldown's half-open probe.
         """
         if (
             self._engine is not None
-            and len(counts) >= ENGINE_MIN_DISTINCT_LINES
+            and len(counts) >= self.config.engine_min_lines
         ):
-            with self._engine_lock:
-                return self._engine.estimate_table(counts)
-        with self._estimator_lock:
-            return self._estimator.corpus_estimate_table(counts)
+            if self.breaker.allow():
+                try:
+                    self._checkpoint(deadline, "engine estimation")
+                    with self._engine_lock:
+                        table = self._engine.estimate_table(counts)
+                        report = self._engine.last_report
+                except PipelineError:
+                    # The fan-out *machinery* failed (chunk retry
+                    # budget exhausted, pool unusable) — a transient
+                    # capacity problem the in-process path does not
+                    # share.  Degrade.  Anything else propagates:
+                    # per-line estimation failures are quarantined
+                    # inside the engine, so a non-PipelineError here is
+                    # a deployment/config fault (e.g. a typed artifact
+                    # mismatch on worker spawn) that degrading would
+                    # only hide from the operator.
+                    log.exception(
+                        "sharded engine failed; degrading to in-process "
+                        "estimation"
+                    )
+                    self.breaker.record_failure()
+                    self.note_degraded_batch()
+                else:
+                    self.breaker.record_success()
+                    self.absorb_report(report)
+                    return table
+            else:
+                self.note_degraded_batch()
+        return self._local_table(counts, deadline)
 
-    def estimate(self, request: codec.EstimateRequest) -> dict:
+    def estimate(
+        self,
+        request: codec.EstimateRequest,
+        deadline: Deadline | None = None,
+    ) -> dict:
         """``/v1/estimate``: one recipe, always on the warm estimator."""
         counts = dict(Counter(request.ingredients))
-        with self._estimator_lock:
-            table = self._estimator.corpus_estimate_table(counts)
+        table = self._local_table(counts, deadline)
         self.metrics.observe_reasons(
             table[text].reason for text in request.ingredients
         )
@@ -205,7 +383,11 @@ class ServiceState:
         )
         return codec.encode_recipe_estimate(recipe)
 
-    def estimate_batch(self, request: codec.BatchRequest) -> dict:
+    def estimate_batch(
+        self,
+        request: codec.BatchRequest,
+        deadline: Deadline | None = None,
+    ) -> dict:
         """``/v1/estimate_batch``: many recipes as one corpus.
 
         Corpus-level unit statistics (§II-C) are computed over the
@@ -221,7 +403,9 @@ class ServiceState:
                 for text in recipe.ingredients
             )
         )
-        table = self._estimate_table(counts)
+        table = self._estimate_table(counts, deadline)
+        if deadline is not None:
+            deadline.check("response assembly")
         self.metrics.observe_reasons(
             table[text].reason
             for recipe in request.recipes
@@ -302,7 +486,13 @@ class ServiceState:
     # introspection endpoints
 
     def healthz(self) -> dict:
-        """Liveness: cheap, lock-free, always 200 once serving."""
+        """Liveness: cheap, always 200 while the process serves.
+
+        Stays 200 even while draining or saturated — liveness answers
+        "should the supervisor restart this process?", and the answer
+        during a graceful drain is no.  Readiness (routability) is
+        :meth:`readyz`.
+        """
         return {
             "status": "ok",
             "version": __version__,
@@ -312,8 +502,30 @@ class ServiceState:
             "requests_total": self.metrics.total_requests(),
         }
 
+    def readyz(self) -> dict:
+        """Readiness: 200 only while new work should be routed here.
+
+        503 (``not_ready``) while draining for shutdown, or while the
+        admission queue is full — a load balancer honoring this stops
+        sending traffic *before* requests start getting shed.
+        """
+        if self.draining:
+            raise ServiceNotReadyError("service is draining for shutdown")
+        admission = self.admission.snapshot()
+        if admission["queued"] >= self.config.max_queue > 0:
+            raise ServiceNotReadyError(
+                "admission queue is full; new requests would be shed"
+            )
+        return {
+            "status": "ready",
+            "version": __version__,
+            "admission": admission,
+            "breaker": self.breaker.state,
+        }
+
     def metrics_snapshot(self) -> dict:
         body = self.metrics.snapshot()
         body["response_cache"] = self.cache_info()
         body["workers"] = self.config.workers
+        body["resilience"] = self.resilience_snapshot()
         return body
