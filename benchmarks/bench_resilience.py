@@ -11,7 +11,13 @@ Measures, on a duplication-saturated synthetic corpus:
   be bit-identical to the clean run's,
 * **poison quarantine** — one poison line injected: the run completes,
   the dead-letter report names the line, and every surviving line is
-  bit-identical to a clean run over the corpus minus that line.
+  bit-identical to a clean run over the corpus minus that line,
+* **durable resume** (ISSUE 7) — the same corpus as a durable run
+  (``run_dir=``): journaling overhead vs the clean run, then the
+  journal truncated to half its collect frames and resumed (replay +
+  re-execution, bit-identical), then a **pure replay** of the
+  completed run (no chunk executed, no worker spawned) to measure the
+  journal-replay floor.
 
 Emits ``results/BENCH_resilience.json``.
 
@@ -26,15 +32,20 @@ from __future__ import annotations
 
 import json
 import os
+import tempfile
 import time
 from collections import Counter
+from pathlib import Path
 
 from conftest import write_result
 
 from repro import RecipeGenerator, ShardedCorpusEstimator
 from repro.core.resolution import REASON_ESTIMATOR_ERROR
 from repro.faults import ENV_VAR
+from repro.recipedb.corpus import save_recipes_jsonl
 from repro.recipedb.generator import GeneratorConfig
+from repro.runs import RunManifest, STATUS_RUNNING
+from repro.runs.journal import KIND_COLLECT, RunJournal
 
 SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") == "1"
 N_RECIPES = 200 if SMOKE else 4000
@@ -117,6 +128,66 @@ def run_benchmark() -> dict:
     assert letter.reason == REASON_ESTIMATOR_ERROR
     assert poisoned_table[poisoned_text].reason == REASON_ESTIMATOR_ERROR
 
+    # -- durable resume: journal overhead, half-journal resume, pure
+    # replay (the corpus goes to disk — durable runs bind a manifest
+    # to a JSONL path identity)
+    with tempfile.TemporaryDirectory() as scratch:
+        scratch = Path(scratch)
+        corpus_path = scratch / "corpus.jsonl"
+        save_recipes_jsonl(recipes, corpus_path)
+        run_dir = scratch / "run-bench"
+
+        durable_engine = ShardedCorpusEstimator(
+            workers=WORKERS,
+            chunk_size=CHUNK_SIZE,
+            quarantine=True,
+            run_dir=run_dir,
+        )
+        durable, durable_s = _timed(
+            lambda: durable_engine.estimate_corpus(str(corpus_path))
+        )
+        assert durable == clean, "durable run diverged from the clean run"
+
+        # Truncate the journal to half its collect frames — the state a
+        # kill -9 at that chunk boundary leaves — and resume.
+        records = RunJournal(run_dir / "journal.bin").scan().records
+        n_collect = sum(1 for r in records if r.kind == KIND_COLLECT)
+        cut = records[1 + n_collect // 2].offset
+        manifest = RunManifest.load(run_dir)
+        manifest.status = STATUS_RUNNING
+        manifest.save(run_dir)
+        with (run_dir / "journal.bin").open("r+b") as handle:
+            handle.truncate(cut)
+        resume_engine = ShardedCorpusEstimator(
+            workers=WORKERS,
+            chunk_size=CHUNK_SIZE,
+            quarantine=True,
+            run_dir=run_dir,
+            resume=True,
+        )
+        resumed, resume_s = _timed(
+            lambda: resume_engine.estimate_corpus(str(corpus_path))
+        )
+        resume_report = resume_engine.last_report
+        assert resumed == clean, "resumed run diverged from the clean run"
+        assert resume_report.replayed_chunks > 0
+        assert resume_report.executed_chunks > 0
+
+        # Pure replay of the now-complete run: every chunk from the
+        # journal, zero workers spawned.
+        replay_engine = ShardedCorpusEstimator(
+            workers=WORKERS,
+            chunk_size=CHUNK_SIZE,
+            quarantine=True,
+            run_dir=run_dir,
+            resume=True,
+        )
+        replayed, replay_s = _timed(
+            lambda: replay_engine.estimate_corpus(str(corpus_path))
+        )
+        assert replayed == clean
+        assert replay_engine.last_report.executed_chunks == 0
+
     return {
         "benchmark": "bench_resilience",
         "smoke": SMOKE,
@@ -148,6 +219,16 @@ def run_benchmark() -> dict:
                 survivors_identical
             ),
         },
+        "durable_resume": {
+            "durable_seconds": round(durable_s, 3),
+            "journal_overhead_vs_clean": round(durable_s / clean_s, 2),
+            "resume_seconds": round(resume_s, 3),
+            "resume_replayed_chunks": resume_report.replayed_chunks,
+            "resume_executed_chunks": resume_report.executed_chunks,
+            "bit_identical_to_clean": resumed == clean,
+            "pure_replay_seconds": round(replay_s, 3),
+            "pure_replay_speedup_vs_clean": round(clean_s / replay_s, 2),
+        },
     }
 
 
@@ -163,6 +244,9 @@ def test_resilience():
     # Recovery must cost bounded extra wall-clock: each crash loses at
     # most one chunk attempt, so even a conservative bound is loose.
     assert report["crash_recovery"]["slowdown_vs_clean"] < 10
+    assert report["durable_resume"]["bit_identical_to_clean"]
+    assert report["durable_resume"]["resume_replayed_chunks"] > 0
+    assert report["durable_resume"]["resume_executed_chunks"] > 0
 
 
 if __name__ == "__main__":

@@ -21,6 +21,7 @@ import pytest
 
 from repro import NutritionEstimator, RecipeGenerator
 from repro.ner import AveragedPerceptronTagger
+from repro.utils import atomic_write_text
 
 #: Corpus scale; override with REPRO_BENCH_RECIPES for bigger runs.
 N_RECIPES = int(os.environ.get("REPRO_BENCH_RECIPES", "1200"))
@@ -38,11 +39,16 @@ def results_dir() -> Path:
 
 
 def write_result(name: str, content: str) -> Path:
-    """Persist a reproduced artifact under the mode's results dir."""
+    """Persist a reproduced artifact under the mode's results dir.
+
+    Written atomically (one shared fsync-aware path,
+    :func:`repro.utils.atomic_write_text`) so an interrupted benchmark
+    run can never leave a half-written committed artifact behind.
+    """
     directory = results_dir()
     directory.mkdir(parents=True, exist_ok=True)
     path = directory / name
-    path.write_text(content + "\n", encoding="utf-8")
+    atomic_write_text(path, content + "\n")
     return path
 
 

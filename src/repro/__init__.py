@@ -33,6 +33,10 @@ module map and data flow, and ``docs/api.md`` for the HTTP and Python
 APIs.
 """
 
+# Before the subpackage imports: submodules (e.g. the pipeline
+# engine's run manifests) read it during their own import.
+__version__ = "1.1.0"
+
 from repro.core.estimator import (
     IngredientEstimate,
     NutritionEstimator,
@@ -44,8 +48,6 @@ from repro.matching.matcher import DescriptionMatcher, MatcherConfig
 from repro.pipeline import EstimatorSpec, ShardedCorpusEstimator
 from repro.recipedb.generator import GeneratorConfig, RecipeGenerator
 from repro.usda.database import NutrientDatabase, load_default_database
-
-__version__ = "1.1.0"
 
 __all__ = [
     "IngredientEstimate",

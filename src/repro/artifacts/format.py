@@ -29,13 +29,12 @@ from __future__ import annotations
 
 import hashlib
 import io
-import os
 import pickle
 import struct
-import tempfile
 from pathlib import Path
 
 from repro.artifacts.errors import ArtifactCorruptError, ArtifactVersionError
+from repro.utils import atomic_write_bytes
 
 MAGIC = b"REPROART"
 #: Current (and only) payload layout version.  Bump on any change to
@@ -92,7 +91,6 @@ def write_artifact_bytes(path: str | Path, payload: dict) -> int:
     byte-deterministic: the same payload tree always produces the
     same file, so rebuild-and-compare is a valid freshness check.
     """
-    path = Path(path)
     body = pack_payload(payload)
     blob = (
         _HEADER.pack(
@@ -100,29 +98,29 @@ def write_artifact_bytes(path: str | Path, payload: dict) -> int:
         )
         + body
     )
-    fd, tmp_name = tempfile.mkstemp(
-        dir=path.parent or Path("."), prefix=path.name, suffix=".tmp"
-    )
-    try:
-        with os.fdopen(fd, "wb") as handle:
-            # mkstemp creates 0600 and os.replace keeps the temp
-            # file's mode — without this, an artifact built by a
-            # deploy user would be unreadable by the service account.
-            # Grant the ordinary umask-respecting file mode instead.
-            umask = os.umask(0)
-            os.umask(umask)
-            os.fchmod(handle.fileno(), 0o666 & ~umask)
-            handle.write(blob)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp_name, path)
-    except BaseException:
-        try:
-            os.unlink(tmp_name)
-        except OSError:
-            pass
-        raise
-    return len(blob)
+    return atomic_write_bytes(path, blob)
+
+
+def read_artifact_digest(path: str | Path) -> str:
+    """Payload SHA-256 hex digest from an artifact's header alone.
+
+    Reads only the fixed-size header — no payload validation — so a
+    run manifest can bind itself to the exact artifact file it was
+    started from without paying a full load.
+    """
+    with open(path, "rb") as handle:
+        head = handle.read(HEADER_SIZE)
+    if len(head) < HEADER_SIZE:
+        raise ArtifactCorruptError(
+            f"{path}: truncated artifact — {len(head)} bytes is smaller "
+            f"than the {HEADER_SIZE}-byte header"
+        )
+    magic, _version, _length, digest = _HEADER.unpack(head)
+    if magic != MAGIC:
+        raise ArtifactCorruptError(
+            f"{path}: not a repro artifact (bad magic {magic!r})"
+        )
+    return digest.hex()
 
 
 def read_artifact_bytes(path: str | Path) -> dict:

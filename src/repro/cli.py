@@ -8,6 +8,9 @@ Subcommands::
     python -m repro explain "1 garlic" --context "2 cloves garlic , minced"
     python -m repro generate --recipes 5 --out corpus.jsonl
     python -m repro batch corpus.jsonl --workers 4 --jsonl --reasons
+    python -m repro batch corpus.jsonl --workers 4 --run-dir runs/
+    python -m repro batch --resume runs/run-20260807-.../
+    python -m repro runs list runs/
     python -m repro build-artifact pipeline.artifact
     python -m repro serve --port 8080 --workers 2 --artifact pipeline.artifact
     python -m repro tables
@@ -26,13 +29,26 @@ captures everything expensive to construct into one checksummed
 snapshot file; ``batch``/``serve`` ``--artifact`` then start every
 process — coordinator and sharded workers alike — from that snapshot
 instead of rebuilding (see ``docs/operations.md``).
+
+``batch --run-dir ROOT`` makes the run **durable** (:mod:`repro.runs`):
+a fresh ``ROOT/<run-id>/`` directory gets a manifest binding corpus,
+database and config, a crash-safe chunk journal, and the run's
+dead-letter report.  ``batch --resume RUN_DIR`` continues a killed run
+from its journal — replaying finished chunks, executing only the
+missing ones — with output bit-identical to an uninterrupted run.
+SIGINT/SIGTERM exit with code :data:`EXIT_INTERRUPTED` after flushing
+the report (the journal is always already on disk); ``repro runs
+list``/``show`` inspect run directories.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import signal
 import sys
 import time
+from pathlib import Path
 
 from repro.core.coverage import ReasonTally
 from repro.core.estimator import STATUS_FULL, NutritionEstimator
@@ -48,7 +64,16 @@ from repro.recipedb.corpus import (
     load_recipes_jsonl,
     save_recipes_jsonl,
 )
+from repro.deadletter import REPORT_NAME, write_report_jsonl
 from repro.recipedb.generator import GeneratorConfig, RecipeGenerator
+from repro.runs import (
+    RunError,
+    RunManifest,
+    iter_run_dirs,
+    mark_interrupted,
+    new_run_id,
+    run_summary,
+)
 from repro.service import ServiceConfig, serve
 from repro.service.state import DEFAULT_RESPONSE_CACHE_CAP
 from repro.eval.tables import (
@@ -121,13 +146,29 @@ def _spec_from_args(args: argparse.Namespace) -> EstimatorSpec:
     return EstimatorSpec(artifact_path=artifact or None)
 
 
+#: Exit code for a batch run stopped by SIGINT/SIGTERM after flushing
+#: its journal and dead-letter report.  Distinct from crashes (which
+#: the fault harness exits with 70, EX_SOFTWARE): 75 is EX_TEMPFAIL —
+#: "try again", which for a durable run means ``batch --resume``.
+EXIT_INTERRUPTED = 75
+
+
+class _Interrupted(Exception):
+    """SIGINT/SIGTERM arrived; carries the signal number."""
+
+    def __init__(self, signum: int):
+        super().__init__(signum)
+        self.signum = signum
+
+
+def _raise_interrupted(signum, frame):  # noqa: ARG001
+    raise _Interrupted(signum)
+
+
 def _cmd_batch(args: argparse.Namespace) -> int:
     """Estimate a whole JSONL corpus through the batch pipeline."""
     if args.passes < 1:
         print(f"error: --passes must be >= 1, got {args.passes}")
-        return 2
-    if args.workers < 1:
-        print(f"error: --workers must be >= 1, got {args.workers}")
         return 2
     if args.chunk_deadline < 0:
         print(
@@ -143,8 +184,45 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             f"{args.max_chunk_retries}"
         )
         return 2
+
+    # Durable-run plumbing: --run-dir starts a fresh run in its own
+    # ROOT/<run-id>/ directory; --resume continues an existing one,
+    # defaulting corpus path and config from the run's manifest so
+    # `repro batch --resume RUN_DIR` alone is a complete invocation.
+    run_dir: Path | None = None
+    resume = False
+    if args.resume:
+        run_dir = Path(args.resume)
+        resume = True
+        manifest = RunManifest.load(run_dir)
+        if args.path is None:
+            args.path = manifest.corpus["path"]
+        if args.workers is None:
+            args.workers = manifest.config.get("workers", 1)
+        if args.chunk_size is None:
+            args.chunk_size = manifest.config.get("chunk_size", 512)
+        if not args.artifact:
+            args.artifact = manifest.database.get("artifact_path") or ""
+        if not args.strict and not manifest.config.get("quarantine", True):
+            args.strict = True
+    elif args.run_dir:
+        run_dir = Path(args.run_dir) / new_run_id()
+    if args.path is None:
+        print("error: a corpus path is required (or --resume RUN_DIR)")
+        return 2
+    if args.workers is None:
+        args.workers = 1
+    if args.chunk_size is None:
+        args.chunk_size = 512
+    if args.workers < 1:
+        print(f"error: --workers must be >= 1, got {args.workers}")
+        return 2
+    if args.chunk_size < 1:
+        print(f"error: --chunk-size must be >= 1, got {args.chunk_size}")
+        return 2
+
     spec = _spec_from_args(args)
-    use_engine = args.workers > 1 or args.jsonl
+    use_engine = args.workers > 1 or args.jsonl or run_dir is not None
     if use_engine and args.passes != 2:
         print(
             "note: the sharded corpus engine always runs the two-phase "
@@ -172,28 +250,75 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         engine = ShardedCorpusEstimator(
             spec,
             workers=args.workers,
+            chunk_size=args.chunk_size,
             quarantine=quarantine,
             chunk_deadline_s=args.chunk_deadline,
             max_chunk_retries=args.max_chunk_retries,
+            run_dir=run_dir,
+            resume=resume,
         )
         recipe_stream = (
             iter_recipes_jsonl(args.path, on_error="skip")
             if quarantine
             else iter_recipes_jsonl(args.path)
         )
+        if run_dir is not None:
+            print(f"durable run directory: {run_dir}")
+        # SIGINT/SIGTERM stop the run *resumably*: every journal frame
+        # is already fsync'd, so the handlers only need to get the
+        # dead-letter report out and stamp the manifest before exiting
+        # with EXIT_INTERRUPTED.
+        previous_handlers = {
+            signum: signal.signal(signum, _raise_interrupted)
+            for signum in (signal.SIGINT, signal.SIGTERM)
+        }
         start = time.perf_counter()
-        for recipe, est in zip(
-            recipe_stream,
-            engine.iter_corpus_estimates(args.path),
-        ):
-            n_recipes += 1
-            lines += len(est.ingredients)
-            if reason_tally is not None:
-                reason_tally.add_recipe(est)
-            show(recipe, est)
+        try:
+            for recipe, est in zip(
+                recipe_stream,
+                engine.iter_corpus_estimates(args.path),
+            ):
+                n_recipes += 1
+                lines += len(est.ingredients)
+                if reason_tally is not None:
+                    reason_tally.add_recipe(est)
+                show(recipe, est)
+        except _Interrupted as exc:
+            name = signal.Signals(exc.signum).name
+            report = engine.last_report
+            if run_dir is not None:
+                if report is not None:
+                    write_report_jsonl(
+                        run_dir / REPORT_NAME,
+                        report.dead_letters,
+                        report.run_id or run_dir.name,
+                    )
+                try:
+                    mark_interrupted(run_dir)
+                except RunError:
+                    pass  # stopped before the manifest existed
+                print(
+                    f"\ninterrupted ({name}); the journal is on disk — "
+                    f"resume with:\n  repro batch --resume {run_dir}"
+                )
+            else:
+                print(f"\ninterrupted ({name})")
+            return EXIT_INTERRUPTED
+        finally:
+            for signum, handler in previous_handlers.items():
+                signal.signal(signum, handler)
         elapsed = time.perf_counter() - start
         mode = f"{args.workers} worker(s), two-phase corpus protocol"
         report = engine.last_report
+        if run_dir is not None and report is not None:
+            # The report lands on every completion — an empty file is
+            # still a statement ("this run quarantined nothing") and
+            # keeps clean-vs-resumed runs byte-diffable.
+            write_report_jsonl(
+                run_dir / REPORT_NAME,
+                report.dead_letters,
+                report.run_id or run_dir.name,
+            )
     else:
         # In-memory path: the same two-phase corpus protocol as the
         # engine (identical results at any --workers), timed without
@@ -237,9 +362,42 @@ def _cmd_batch(args: argparse.Namespace) -> int:
                 for name, value in supervision.items()
             )
             print(f"\nsupervision: {summary}")
+        if report.run_dir is not None:
+            print(
+                f"\ndurable run {report.run_id}: "
+                f"{report.executed_chunks} chunk(s) executed, "
+                f"{report.replayed_chunks} replayed from journal "
+                f"({report.run_dir})"
+            )
         if report.dead_letters:
             print("\ndead-letter report:")
             print(report.dead_letters.render())
+    return 0
+
+
+def _cmd_runs_list(args: argparse.Namespace) -> int:
+    """One line per run directory under the given root."""
+    run_dirs = iter_run_dirs(args.root)
+    if not run_dirs:
+        print(f"no run directories under {args.root}")
+        return 1
+    for path in run_dirs:
+        info = run_summary(path)
+        journal = info["journal"]
+        planned = journal["planned_chunks"]
+        frames = journal["records"]
+        progress = f"collect {frames['collect']}"
+        if planned is not None:
+            progress += f"/{planned}"
+        progress += f", fallback {frames['fallback']}"
+        torn = ", torn tail" if journal["torn_bytes"] else ""
+        print(f"{info['run_id']:44} {info['status']:12} {progress}{torn}")
+    return 0
+
+
+def _cmd_runs_show(args: argparse.Namespace) -> int:
+    """Full manifest + journal summary of one run, as JSON."""
+    print(json.dumps(run_summary(args.run_dir), indent=2, sort_keys=True))
     return 0
 
 
@@ -351,6 +509,9 @@ def build_parser() -> argparse.ArgumentParser:
             '  repro explain "1 garlic" --context "2 cloves garlic , minced"\n'
             "  repro generate --recipes 200 --out corpus.jsonl\n"
             "  repro batch corpus.jsonl --workers 4 --jsonl --reasons\n"
+            "  repro batch corpus.jsonl --workers 4 --run-dir runs/\n"
+            "  repro batch --resume runs/run-20260807-120000-00042-abc123\n"
+            "  repro runs list runs/\n"
             "  repro build-artifact pipeline.artifact\n"
             "  repro serve --port 8080 --workers 2 --artifact pipeline.artifact\n"
             "\n"
@@ -390,14 +551,35 @@ def build_parser() -> argparse.ArgumentParser:
 
     batch = sub.add_parser(
         "batch", help="estimate a JSONL corpus via the batch pipeline")
-    batch.add_argument("path", help="corpus written by `generate --out`")
+    batch.add_argument("path", nargs="?", default=None,
+                       help="corpus written by `generate --out` "
+                            "(optional with --resume: defaults to the "
+                            "manifest's corpus path)")
     batch.add_argument("--passes", type=int, default=2,
                        help=">=2 runs the two-phase corpus protocol "
                             "(default); 1 runs the incremental single "
                             "pass (in-process path only)")
-    batch.add_argument("--workers", type=int, default=1,
+    batch.add_argument("--workers", type=int, default=None,
                        help="worker processes for the sharded corpus "
-                            "engine (>1 enables it)")
+                            "engine (>1 enables it; default 1, or the "
+                            "manifest's count with --resume)")
+    batch.add_argument("--chunk-size", type=int, default=None, metavar="N",
+                       help="distinct ingredient lines per pool chunk "
+                            "(default 512, or the manifest's size with "
+                            "--resume — resume requires a matching size)")
+    durability = batch.add_mutually_exclusive_group()
+    durability.add_argument("--run-dir", default="", metavar="ROOT",
+                            help="make the run durable: create "
+                                 "ROOT/<run-id>/ holding a manifest, a "
+                                 "crash-safe chunk journal and the "
+                                 "dead-letter report (implies the "
+                                 "engine path)")
+    durability.add_argument("--resume", default="", metavar="RUN_DIR",
+                            help="resume the durable run in RUN_DIR: "
+                                 "verify its manifest, replay journaled "
+                                 "chunks, execute only missing ones — "
+                                 "output is bit-identical to an "
+                                 "uninterrupted run")
     batch.add_argument("--jsonl", action="store_true",
                        help="stream the corpus (bounded memory) through "
                             "the corpus engine instead of loading it")
@@ -493,6 +675,20 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--out", default="")
     generate.set_defaults(func=_cmd_generate)
 
+    runs = sub.add_parser(
+        "runs", help="inspect durable batch run directories")
+    runs_sub = runs.add_subparsers(dest="runs_command", required=True)
+    runs_list = runs_sub.add_parser(
+        "list", help="one status line per run directory under ROOT")
+    runs_list.add_argument(
+        "root", help="directory holding run directories (a run "
+                     "directory itself also works)")
+    runs_list.set_defaults(func=_cmd_runs_list)
+    runs_show = runs_sub.add_parser(
+        "show", help="full manifest + journal summary of one run (JSON)")
+    runs_show.add_argument("run_dir", help="the run directory to inspect")
+    runs_show.set_defaults(func=_cmd_runs_show)
+
     tables = sub.add_parser("tables", help="print the paper's tables")
     tables.set_defaults(func=_cmd_tables)
     return parser
@@ -506,7 +702,7 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
-    except (ArtifactError, FileNotFoundError) as exc:
+    except (ArtifactError, FileNotFoundError, RunError) as exc:
         print(f"error: {exc}")
         return 2
 

@@ -23,11 +23,22 @@ if it were absent from the corpus** — it contributes no unit
 observations and a zero profile, so every clean line's estimate is
 bit-identical to a run over the corpus with the bad line removed
 (``tests/test_fault_tolerance.py``).
+
+Durable batch runs persist their report with
+:func:`write_report_jsonl`: one JSON object per line, stamped with
+the run id and sorted into a stable canonical order, written
+atomically into the run directory — so re-runs never overwrite each
+other's reports and a resumed run's report is byte-identical to the
+uninterrupted run's.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
+from pathlib import Path
+
+from repro.utils import atomic_write_text
 
 # Ingest-side reason codes (estimate-side quarantine reuses
 # repro.core.resolution.REASON_ESTIMATOR_ERROR).
@@ -117,3 +128,50 @@ class DeadLetterLog:
 
     def __bool__(self) -> bool:
         return bool(self._records)
+
+
+# ----------------------------------------------------------------------
+# durable report files
+
+#: File name for a run's persisted dead-letter report (one JSON object
+#: per line, inside the run directory).
+REPORT_NAME = "dead_letters.jsonl"
+
+
+def report_lines(log: DeadLetterLog, run_id: str) -> list[str]:
+    """The report's JSONL lines in their canonical, stable order.
+
+    Records are sorted by ``(source, line_no, input, reason)`` — not
+    by arrival order — so a resumed run (which replays journaled
+    chunks and re-derives ingest records) emits a byte-identical
+    report to the uninterrupted run, and repeated runs over the same
+    corpus diff cleanly against each other.  Every line carries the
+    run id, so reports from different runs are self-identifying and
+    never mistaken for one another.
+    """
+    ordered = sorted(
+        log.records,
+        key=lambda r: (r.source, r.line_no, r.input, r.reason),
+    )
+    return [
+        json.dumps({"run_id": run_id, **record.to_dict()}, sort_keys=True)
+        for record in ordered
+    ]
+
+
+def write_report_jsonl(
+    path: str | Path, log: DeadLetterLog, run_id: str
+) -> Path:
+    """Persist *log* as a run-id-stamped JSONL report, atomically.
+
+    Written through :func:`repro.utils.atomic_write_text` so a crash
+    mid-write can never leave a torn report next to a valid journal.
+    An empty log still writes an (empty) file: the report's existence
+    marks "this run flushed its dead letters", and byte-diffing a
+    resumed run against a clean one stays meaningful.
+    """
+    path = Path(path)
+    lines = report_lines(log, run_id)
+    content = "\n".join(lines) + ("\n" if lines else "")
+    atomic_write_text(path, content)
+    return path

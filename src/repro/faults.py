@@ -36,12 +36,24 @@ Each rule is ``action@site:selector[:arg]``:
 ``sleep@service-estimate:*:0.5``
     Every service estimation call sleeps 0.5 s — drives the
     request-deadline and load-shedding tests.
+``crash@journal-append:2``
+    The batch **driver** hard-exits immediately before appending
+    frame 2 of a durable run's chunk journal — a SIGKILL/OOM-kill
+    stand-in at a chunk boundary.  ``batch --resume`` must replay the
+    journaled prefix and re-execute the rest bit-identically.
+``corrupt@journal-append:2``
+    The driver writes only **half** of frame 2 (fsync'd, so the torn
+    bytes really reach the file) and then hard-exits — the torn-tail
+    case a power cut produces.  Resume must truncate the torn frame
+    and re-execute its chunk.
 
 Sites wired in: ``collect-chunk`` / ``fallback-chunk`` (pool worker,
 selector = chunk task id), ``estimate-line`` (per-line estimation,
 selector = substring of the line), ``ingest-line`` (JSONL read,
 selector = 1-based line number), ``service-estimate`` (the HTTP
-service's estimation path, selector ``*``).
+service's estimation path, selector ``*``), ``journal-append`` (the
+durable-run chunk journal, selector = 0-based frame index — this one
+kills the coordinating driver process itself, not a worker).
 
 The parsed plan is cached per environment value, so the per-line hot
 path costs one ``os.environ.get`` when no plan is set.
@@ -155,6 +167,22 @@ class FaultPlan:
                 raise InjectedFault(
                     f"injected poison line (selector {rule.selector!r})"
                 )
+
+    def wants_torn_write(self, site: str, index: int) -> bool:
+        """Whether a ``corrupt@`` rule matches this (site, index).
+
+        Used by the run journal: a matching rule makes the append
+        write a *partial* frame and then hard-exit, producing a real
+        torn tail on disk (the caller owns the partial write — only
+        it knows the frame bytes — and then calls
+        :func:`os._exit` with :data:`CRASH_EXIT_CODE`).
+        """
+        return any(
+            rule.action == "corrupt"
+            and rule.site == site
+            and rule.matches_index(index)
+            for rule in self.rules
+        )
 
     def corrupt_line(self, line_no: int, raw: str) -> str:
         """The raw JSONL line to actually parse (possibly corrupted)."""

@@ -37,6 +37,18 @@ aborting the run; :attr:`ShardedCorpusEstimator.last_report` carries
 the run's dead letters and supervision counters.  Both recovery paths
 are deterministically testable through :mod:`repro.faults`.
 
+**Durable runs** (ISSUE 7): with ``run_dir=`` set, the coordinator
+itself stops being a single point of failure.  Each phase-1/phase-3
+chunk result is appended — wire bytes, unit-observation snapshot,
+dead letters — to a checksummed, fsync'd journal in the run directory
+(:mod:`repro.runs`) the moment it arrives, and the merged unit tables
+are checkpointed at the phase boundary.  ``resume=True`` replays the
+journaled prefix in shard order and dispatches **only missing
+chunks** to the pool (no pool is even spawned when nothing is
+missing), which composes with the exact-parity property: a run killed
+at any chunk boundary — or mid-append, leaving a torn journal tail —
+resumes to bit-identical output (``tests/test_durable_resume.py``).
+
 Memory is bounded by the distinct-line working set: recipes are
 streamed (see :func:`repro.recipedb.corpus.iter_recipes_jsonl`), and
 each worker holds at most one chunk at a time.
@@ -45,13 +57,14 @@ each worker holds at most one chunk at a time.
 from __future__ import annotations
 
 import dataclasses
+import time
 from collections import Counter
 from collections.abc import Iterator, Sequence
 from dataclasses import dataclass, field
 from itertools import islice
 from pathlib import Path
 
-from repro import faults
+from repro import __version__, faults
 from repro.core.coverage import ReasonBreakdown, reason_breakdown_from_lines
 from repro.core.estimator import (
     STATUS_NAME_ONLY,
@@ -65,6 +78,8 @@ from repro.pipeline.supervisor import SupervisedWorkerPool, WorkerState
 from repro.pipeline.wire import dumps_estimates, loads_estimates
 from repro.recipedb.corpus import iter_recipes_jsonl
 from repro.recipedb.model import Recipe
+from repro.runs import DurableRun, RunError, RunJournalError, RunManifest
+from repro.runs.manifest import corpus_identity, new_run_id
 from repro.units.fallback import UnitFallback
 
 #: A corpus source the engine can traverse twice: an in-memory
@@ -91,6 +106,15 @@ class RunReport:
     worker_crashes: int = 0
     hung_workers: int = 0
     dead_letters: DeadLetterLog = field(default_factory=DeadLetterLog)
+    #: Durable-run provenance (``None`` outside ``run_dir=`` runs).
+    run_id: str | None = None
+    run_dir: str | None = None
+    resumed: bool = False
+    #: Chunks whose results came straight from the journal vs chunks
+    #: actually dispatched to workers.  A resume of a completed run is
+    #: pure replay: ``executed_chunks == 0``.
+    replayed_chunks: int = 0
+    executed_chunks: int = 0
 
     def counters(self) -> dict:
         """Flat counter view (the service merges this into /metrics)."""
@@ -100,6 +124,14 @@ class RunReport:
             "worker_crashes": self.worker_crashes,
             "hung_workers": self.hung_workers,
             "dead_lettered": len(self.dead_letters),
+        }
+
+    def journal_counters(self) -> dict:
+        """Replay accounting for durable runs (journal + CLI summary)."""
+        return {
+            "replayed_chunks": self.replayed_chunks,
+            "executed_chunks": self.executed_chunks,
+            "resumed": self.resumed,
         }
 
 
@@ -210,6 +242,18 @@ class ShardedCorpusEstimator:
     max_chunk_retries:
         Re-dispatches allowed per chunk lost to a crashed or hung
         worker before :class:`ChunkRetriesExhaustedError`.
+    run_dir:
+        Directory for a **durable run** (:mod:`repro.runs`): manifest,
+        chunk journal, checkpoint.  Requires a JSONL-path corpus
+        source (an in-memory sequence has no durable identity to bind
+        the manifest to).  One engine instance maps to one run
+        directory — construct a fresh engine per durable run.
+    resume:
+        Resume the existing run in *run_dir*: verify its manifest
+        against this engine's corpus/config (typed
+        :class:`~repro.runs.errors.RunMismatchError` on drift),
+        truncate any torn journal tail, replay journaled chunks and
+        execute only the missing ones.
     """
 
     def __init__(
@@ -222,6 +266,8 @@ class ShardedCorpusEstimator:
         quarantine: bool = False,
         chunk_deadline_s: float | None = DEFAULT_CHUNK_DEADLINE_S,
         max_chunk_retries: int = DEFAULT_MAX_CHUNK_RETRIES,
+        run_dir: str | Path | None = None,
+        resume: bool = False,
     ):
         if workers is not None and workers < 1:
             raise ValueError(f"workers must be >= 1: {workers}")
@@ -231,6 +277,10 @@ class ShardedCorpusEstimator:
             raise ValueError(
                 f"max_chunk_retries must be >= 0: {max_chunk_retries}"
             )
+        if resume and run_dir is None:
+            raise ValueError("resume=True requires run_dir")
+        self._run_dir = Path(run_dir) if run_dir is not None else None
+        self._resume = resume
         self._spec = spec or EstimatorSpec()
         if workers is not None:
             self._workers = workers
@@ -307,6 +357,77 @@ class ShardedCorpusEstimator:
         self.last_report = RunReport(workers=self._workers)
         return self.last_report
 
+    # ------------------------------------------------------------------
+    # durable runs
+
+    def _database_fingerprint(self) -> str:
+        """The fingerprint a durable run's manifest binds to."""
+        if self._pinned_fingerprint is not None:
+            return self._pinned_fingerprint
+        from repro.artifacts.store import database_fingerprint
+
+        return database_fingerprint(self._food_list())
+
+    def _durable_run(self, source: CorpusSource) -> DurableRun | None:
+        """Create (or reopen and verify) this engine's durable run."""
+        if self._run_dir is None:
+            return None
+        if not isinstance(source, (str, Path)):
+            raise RunError(
+                "durable runs need a JSONL corpus path (an in-memory "
+                "sequence has no durable identity for the manifest)"
+            )
+        fingerprint = self._database_fingerprint()
+        if self._resume:
+            run = DurableRun.open(self._run_dir)
+            run.manifest.verify_corpus(source)
+            run.manifest.verify_config(
+                chunk_size=self._chunk_size,
+                quarantine=self._quarantine,
+                max_grams=self._spec.max_grams,
+                database_fingerprint=fingerprint,
+            )
+            return run
+        database: dict = {
+            "fingerprint": fingerprint,
+            "artifact_path": self._spec.artifact_path,
+        }
+        if self._spec.artifact_path is not None:
+            from repro.artifacts.format import read_artifact_digest
+
+            database["artifact_sha256"] = read_artifact_digest(
+                self._spec.artifact_path
+            )
+        # The CLI names run directories after the run id it generates
+        # (``ROOT/run-.../``); adopting such a name keeps directory and
+        # manifest in agreement instead of minting a second id.
+        dir_name = self._run_dir.name
+        manifest = RunManifest(
+            run_id=dir_name if dir_name.startswith("run-") else new_run_id(),
+            created_at=time.strftime(
+                "%Y-%m-%dT%H:%M:%SZ", time.gmtime()
+            ),
+            repro_version=__version__,
+            corpus=corpus_identity(source),
+            config={
+                "chunk_size": self._chunk_size,
+                "quarantine": self._quarantine,
+                "max_grams": self._spec.max_grams,
+                "workers": self._workers,
+            },
+            database=database,
+        )
+        return DurableRun.create(self._run_dir, manifest)
+
+    @staticmethod
+    def _note_run(report: RunReport, run: DurableRun | None) -> None:
+        if run is not None:
+            report.run_id = run.manifest.run_id
+            report.run_dir = str(run.path)
+            report.resumed = run.resumed
+
+    # ------------------------------------------------------------------
+
     def estimate_corpus(self, source: CorpusSource) -> list[RecipeEstimate]:
         """All recipe estimates, in corpus order."""
         return list(self.iter_corpus_estimates(source))
@@ -321,14 +442,21 @@ class ShardedCorpusEstimator:
         by the distinct-line estimate table.
         """
         report = self._begin_run()
-        # Distinct-line working set in first-occurrence order (Counter
-        # preserves insertion order; counting runs at C speed).
-        counts = Counter(
-            text
-            for recipe in self._stream(source, report.dead_letters)
-            for text in recipe.ingredient_texts
-        )
-        estimates = self._estimate_table_into(counts, report)
+        run = self._durable_run(source)
+        self._note_run(report, run)
+        try:
+            # Distinct-line working set in first-occurrence order
+            # (Counter preserves insertion order; counting runs at C
+            # speed).
+            counts = Counter(
+                text
+                for recipe in self._stream(source, report.dead_letters)
+                for text in recipe.ingredient_texts
+            )
+            estimates = self._estimate_table_into(counts, report, run)
+        finally:
+            if run is not None:
+                run.close()
         finish = NutritionEstimator.finish_recipe
         for recipe in self._stream(source):
             yield finish(
@@ -346,12 +474,18 @@ class ShardedCorpusEstimator:
         strategy that resolved or killed it.
         """
         report = self._begin_run()
-        counts = Counter(
-            text
-            for recipe in self._stream(source, report.dead_letters)
-            for text in recipe.ingredient_texts
-        )
-        table = self._estimate_table_into(counts, report)
+        run = self._durable_run(source)
+        self._note_run(report, run)
+        try:
+            counts = Counter(
+                text
+                for recipe in self._stream(source, report.dead_letters)
+                for text in recipe.ingredient_texts
+            )
+            table = self._estimate_table_into(counts, report, run)
+        finally:
+            if run is not None:
+                run.close()
         return reason_breakdown_from_lines(
             (table[text], count) for text, count in counts.items()
         )
@@ -376,11 +510,17 @@ class ShardedCorpusEstimator:
         return self._estimate_table_into(counts, self._begin_run())
 
     def _estimate_table_into(
-        self, counts: dict[str, int], report: RunReport
+        self,
+        counts: dict[str, int],
+        report: RunReport,
+        run: DurableRun | None = None,
     ) -> dict[str, IngredientEstimate]:
-        if self._workers == 1:
+        if run is None and self._workers == 1:
             return self._run_local(counts, report)
-        return self._run_pool(counts, report)
+        # A durable run always takes the chunked pool path, even at
+        # workers=1: journaling and replay are defined over the chunk
+        # plan, and a full replay never spawns a worker anyway.
+        return self._run_pool(counts, report, run)
 
     def _run_local(
         self, counts: dict[str, int], report: RunReport
@@ -417,63 +557,165 @@ class ShardedCorpusEstimator:
         )
 
     def _run_pool(
-        self, counts: dict[str, int], report: RunReport
+        self,
+        counts: dict[str, int],
+        report: RunReport,
+        run: DurableRun | None = None,
     ) -> dict[str, IngredientEstimate]:
         foods = self._food_list()
         merged_fallback = UnitFallback(self._spec.max_grams)
         estimates: dict[str, IngredientEstimate] = {}
         chunks = list(_chunked(counts.items(), self._chunk_size))
-        if not chunks:
-            return estimates
         quarantine_on = self._quarantine
-        with SupervisedWorkerPool(
-            self._worker_spec(),
-            _HANDLERS,
-            self._workers,
-            deadline_s=self._chunk_deadline_s,
-            max_retries=self._max_chunk_retries,
-        ) as pool:
+        if run is not None:
+            run.begin(
+                n_chunks=len(chunks),
+                distinct_lines=len(counts),
+                chunk_size=self._chunk_size,
+            )
+        if not chunks:
+            if run is not None and not run.complete:
+                run.record_complete(
+                    {**report.counters(), **report.journal_counters()}
+                )
+            return estimates
+
+        # The pool is created lazily: a resume whose journal already
+        # covers every chunk is pure replay and spawns no workers.
+        pool: SupervisedWorkerPool | None = None
+
+        def ensure_pool() -> SupervisedWorkerPool:
+            nonlocal pool
+            if pool is None:
+                pool = SupervisedWorkerPool(
+                    self._worker_spec(),
+                    _HANDLERS,
+                    self._workers,
+                    deadline_s=self._chunk_deadline_s,
+                    max_retries=self._max_chunk_retries,
+                )
+            return pool
+
+        def replay_decode(wire, expected: int, what: str, index: int):
+            decoded = loads_estimates(wire, foods)
+            if len(decoded) != expected:
+                raise RunJournalError(
+                    f"journaled {what} chunk {index} decodes to "
+                    f"{len(decoded)} estimates where the recomputed "
+                    f"chunk holds {expected} — the corpus changed since "
+                    f"the run was started"
+                )
+            return decoded
+
+        try:
             # Phase 1+2: collect shards, merge snapshots in chunk
             # order.  The supervised pool yields results in task order
             # even when a retry finishes out of sequence, so the merge
             # order — and therefore the tie-break-exact table — is
-            # independent of failures.
+            # independent of failures; journal replay slots into the
+            # same chunk-order merge, with only the missing chunk
+            # indices (in increasing order) dispatched to workers.
+            replay = run.collect if run is not None else {}
+            missing = [i for i in range(len(chunks)) if i not in replay]
             payloads = [
-                (index * self._chunk_size, chunk, quarantine_on)
-                for index, chunk in enumerate(chunks)
+                (i * self._chunk_size, chunks[i], quarantine_on)
+                for i in missing
             ]
-            for chunk, (wire, snapshot, letters) in zip(
-                chunks, pool.run("collect-chunk", payloads)
-            ):
+            executed = (
+                ensure_pool().run("collect-chunk", payloads)
+                if payloads
+                else iter(())
+            )
+            for i, chunk in enumerate(chunks):
+                if i in replay:
+                    wire, snapshot, letters = replay[i]
+                    decoded = replay_decode(wire, len(chunk), "collect", i)
+                    report.replayed_chunks += 1
+                else:
+                    wire, snapshot, letters = next(executed)
+                    decoded = loads_estimates(wire, foods)
+                    if run is not None:
+                        run.record_collect(i, wire, snapshot, list(letters))
+                    report.executed_chunks += 1
                 merged_fallback.merge(snapshot)
                 report.dead_letters.extend(list(letters))
-                for (text, _), estimate in zip(
-                    chunk, loads_estimates(wire, foods)
-                ):
+                for (text, _), estimate in zip(chunk, decoded):
                     estimates[text] = estimate
+            # Phase boundary: checkpoint the merged unit tables — or,
+            # on a resume that already holds a checkpoint, cross-check
+            # it against the tables just merged from replay.  A
+            # divergence means the corpus or database changed in a way
+            # the manifest's sampled prefix could not see.
+            snapshot = merged_fallback.snapshot()
+            if run is not None:
+                if run.checkpoint is None:
+                    run.record_checkpoint(snapshot)
+                elif run.checkpoint != snapshot:
+                    raise RunJournalError(
+                        "journaled phase-boundary checkpoint does not "
+                        "match the unit tables merged from the replayed "
+                        "chunks — the corpus changed since the run was "
+                        "started"
+                    )
             # Phase 3: re-estimate fallback candidates against the
-            # frozen merged table.
+            # frozen merged table.  The pending list is a pure function
+            # of the phase-1 estimates, so a resume recomputes the
+            # identical fallback chunking and can address journaled
+            # phase-3 frames by chunk index.
             ordinals = {text: i for i, text in enumerate(counts)}
             pending = [
                 (ordinals[text], text)
                 for text, estimate in estimates.items()
                 if estimate.status == STATUS_NAME_ONLY
             ]
-            snapshot = merged_fallback.snapshot()
             fallback_chunks = list(_chunked(pending, self._chunk_size))
-            payloads = [
-                (snapshot, items, quarantine_on)
-                for items in fallback_chunks
+            fb_replay = run.fallback if run is not None else {}
+            fb_missing = [
+                i for i in range(len(fallback_chunks)) if i not in fb_replay
             ]
-            for items, (present, wire, letters) in zip(
-                fallback_chunks, pool.run("fallback-chunk", payloads)
-            ):
+            payloads = [
+                (snapshot, fallback_chunks[i], quarantine_on)
+                for i in fb_missing
+            ]
+            executed = (
+                ensure_pool().run("fallback-chunk", payloads)
+                if payloads
+                else iter(())
+            )
+            for i, items in enumerate(fallback_chunks):
+                if i in fb_replay:
+                    present, wire, letters = fb_replay[i]
+                    if present and not (
+                        0 <= min(present) and max(present) < len(items)
+                    ):
+                        raise RunJournalError(
+                            f"journaled fallback chunk {i} addresses "
+                            f"lines outside the recomputed chunk — the "
+                            f"corpus changed since the run was started"
+                        )
+                    decoded = replay_decode(
+                        wire, len(present), "fallback", i
+                    )
+                    report.replayed_chunks += 1
+                else:
+                    present, wire, letters = next(executed)
+                    decoded = loads_estimates(wire, foods)
+                    if run is not None:
+                        run.record_fallback(i, present, wire, list(letters))
+                    report.executed_chunks += 1
                 report.dead_letters.extend(list(letters))
-                for i, estimate in zip(present, loads_estimates(wire, foods)):
-                    estimates[items[i][1]] = estimate
-            stats = pool.stats
-        report.retries = stats.retries
-        report.respawns = stats.respawns
-        report.worker_crashes = stats.crashes
-        report.hung_workers = stats.hung
+                for p, estimate in zip(present, decoded):
+                    estimates[items[p][1]] = estimate
+        finally:
+            if pool is not None:
+                stats = pool.stats
+                pool.close()
+                report.retries = stats.retries
+                report.respawns = stats.respawns
+                report.worker_crashes = stats.crashes
+                report.hung_workers = stats.hung
+        if run is not None and not run.complete:
+            run.record_complete(
+                {**report.counters(), **report.journal_counters()}
+            )
         return estimates

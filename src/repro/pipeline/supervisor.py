@@ -46,6 +46,7 @@ import gc
 import multiprocessing as mp
 import pickle
 import queue
+import signal
 import time
 from collections import deque
 from collections.abc import Callable, Iterator, Sequence
@@ -106,6 +107,12 @@ def _picklable_exc(exc: BaseException) -> BaseException:
 
 def _worker_main(worker_id, spec, handlers, task_q, result_q) -> None:
     """One worker process: build the estimator once, serve tasks."""
+    # A terminal Ctrl-C delivers SIGINT to the whole foreground process
+    # group.  The coordinator's handler owns the shutdown (flush the
+    # run journal and dead-letter report, then exit resumable); workers
+    # must not die out from under it mid-chunk, so they ignore the
+    # signal and let the coordinator wind them down through close().
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
     try:
         estimator = spec.build()
     except BaseException as exc:  # noqa: BLE001 — shipped to coordinator

@@ -18,6 +18,13 @@ provenance: the ``reason`` / ``trace`` fields added by the resolution
 strategy chain travel bit-identically without codec changes, which is
 what lets sharded workers ship per-line diagnostics to the
 coordinator for corpus-level reason breakdowns.
+
+The run journal (:mod:`repro.runs.journal`) is a second consumer of
+this codec: durable runs persist each chunk's wire blob verbatim and
+decode it at resume time with :func:`loads_estimates` against the
+resuming coordinator's database.  The manifest's database-fingerprint
+binding is what makes that sound — a resume only gets this far when
+the index space is provably the one the blob was encoded against.
 """
 
 from __future__ import annotations

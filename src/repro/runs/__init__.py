@@ -1,0 +1,80 @@
+"""Durable batch runs: crash-safe checkpointing and journaled resume.
+
+PR 6 made the batch pipeline survive *worker* death; this package
+makes it survive **driver** death — OOM kills, host reboots, plain
+``kill -9`` at line 900k of a Recipe1M+-scale corpus.  Every durable
+``repro batch`` invocation gets a run directory holding
+
+* a **manifest** (:mod:`repro.runs.manifest`) binding the run to the
+  corpus identity, the database/artifact fingerprint, and the chunking
+  config;
+* an append-only, checksummed, fsync'd **chunk journal**
+  (:mod:`repro.runs.journal`) recording every phase-1/phase-3 chunk
+  result — through the existing wire codec — plus each chunk's unit
+  -observation snapshot and a phase-boundary checkpoint of the merged
+  unit tables;
+* the run-id-stamped **dead-letter report**
+  (:func:`repro.deadletter.write_report_jsonl`).
+
+``repro batch --resume RUN_DIR`` verifies the manifest (typed
+:class:`~repro.runs.errors.RunMismatchError` on drift), truncates any
+torn journal tail, replays journaled chunks in shard order, and
+re-executes only what is missing through the supervised pool.  Because
+chunk results are pure functions of chunk content and the merge is in
+chunk order, the resumed output is **bit-identical** to an
+uninterrupted run — pinned by killing the driver at every chunk
+boundary (and mid-append) in ``tests/test_durable_resume.py`` and the
+CI chaos job.
+
+See ``docs/operations.md`` ("Durable runs & resume") for the
+operational story.
+"""
+
+from repro.runs.errors import (
+    RunDirectoryError,
+    RunError,
+    RunJournalError,
+    RunManifestError,
+    RunMismatchError,
+)
+from repro.runs.journal import RunJournal, ScanResult
+from repro.runs.manifest import (
+    MANIFEST_NAME,
+    STATUS_COMPLETED,
+    STATUS_INTERRUPTED,
+    STATUS_RUNNING,
+    RunManifest,
+    corpus_identity,
+    new_run_id,
+)
+from repro.runs.store import (
+    JOURNAL_NAME,
+    DurableRun,
+    is_run_dir,
+    iter_run_dirs,
+    mark_interrupted,
+    run_summary,
+)
+
+__all__ = [
+    "JOURNAL_NAME",
+    "MANIFEST_NAME",
+    "STATUS_COMPLETED",
+    "STATUS_INTERRUPTED",
+    "STATUS_RUNNING",
+    "DurableRun",
+    "RunDirectoryError",
+    "RunError",
+    "RunJournal",
+    "RunJournalError",
+    "RunManifest",
+    "RunManifestError",
+    "RunMismatchError",
+    "ScanResult",
+    "corpus_identity",
+    "is_run_dir",
+    "iter_run_dirs",
+    "mark_interrupted",
+    "new_run_id",
+    "run_summary",
+]

@@ -1,0 +1,56 @@
+"""Typed failures of the durable run store.
+
+Every refusal a resume can hit is a distinct, catchable type with a
+message naming exactly what diverged — the same philosophy as
+:mod:`repro.artifacts.errors`, whose fingerprint machinery the
+manifest checks reuse.  Callers (the CLI) catch :class:`RunError`
+and exit 2 with the message; nothing here is ever silently ignored,
+because resuming against the wrong corpus or config would produce
+confidently wrong numbers instead of a crash.
+"""
+
+from __future__ import annotations
+
+
+class RunError(RuntimeError):
+    """Base class for durable-run failures."""
+
+
+class RunDirectoryError(RunError):
+    """The run directory is missing, already occupied, or unreadable."""
+
+
+class RunManifestError(RunError):
+    """The run manifest is missing or does not parse."""
+
+
+class RunMismatchError(RunError):
+    """A resume does not match the manifest it is resuming.
+
+    Carries the mismatching *field* plus the expected (manifest) and
+    actual (current invocation) values, so callers can render a
+    precise refusal.
+    """
+
+    def __init__(self, field: str, expected, actual):
+        super().__init__(
+            f"cannot resume: {field} changed since the run was started "
+            f"(run manifest has {expected!r}, this invocation has "
+            f"{actual!r})"
+        )
+        self.field = field
+        self.expected = expected
+        self.actual = actual
+
+
+class RunJournalError(RunError):
+    """The chunk journal is inconsistent with the corpus being resumed.
+
+    Distinct from a *torn tail* — a partial final frame is the
+    expected signature of a crash and is silently truncated on
+    resume.  This error means a frame that passed its checksum still
+    contradicts the recomputed chunk plan (wrong chunk count, a chunk
+    index past the plan, a checkpoint that diverges from the merged
+    tables), which points at a corpus or config change the manifest
+    checks could not see.
+    """

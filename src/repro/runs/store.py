@@ -1,0 +1,278 @@
+"""The run directory: manifest + journal + dead-letter report.
+
+Layout of one run directory::
+
+    RUN_DIR/
+      manifest.json        # identity + config binding (atomic writes)
+      journal.bin          # append-only checksummed chunk journal
+      dead_letters.jsonl   # run-id-stamped quarantine report
+
+:class:`DurableRun` is the engine-facing handle: it owns creating /
+reopening the directory, turning journal frames into replayable chunk
+results, and appending new frames as the run progresses.  The module
+also provides the read-only summaries behind ``repro runs list`` and
+``repro runs show``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.deadletter import REPORT_NAME, DeadLetter
+from repro.runs.errors import RunDirectoryError, RunJournalError
+from repro.runs.journal import (
+    KIND_CHECKPOINT,
+    KIND_COLLECT,
+    KIND_COMPLETE,
+    KIND_FALLBACK,
+    KIND_NAMES,
+    KIND_PLAN,
+    JournalRecord,
+    RunJournal,
+)
+from repro.runs.manifest import (
+    MANIFEST_NAME,
+    STATUS_COMPLETED,
+    STATUS_INTERRUPTED,
+    RunManifest,
+)
+
+JOURNAL_NAME = "journal.bin"
+
+
+def _letters_to_payload(letters) -> list:
+    return [letter.to_dict() for letter in letters]
+
+
+def _letters_from_payload(raw) -> list[DeadLetter]:
+    return [DeadLetter(**record) for record in raw]
+
+
+class DurableRun:
+    """One run directory, open for journaling or replay.
+
+    Create for a fresh run, :meth:`open` to resume.  After open, the
+    ``plan`` / ``collect`` / ``checkpoint`` / ``fallback`` /
+    ``complete`` attributes hold everything the valid journal prefix
+    knew; the engine replays those and journals only what is missing.
+    """
+
+    def __init__(
+        self,
+        path: Path,
+        manifest: RunManifest,
+        journal: RunJournal,
+        *,
+        resumed: bool,
+        torn_bytes: int = 0,
+    ):
+        self.path = path
+        self.manifest = manifest
+        self.journal = journal
+        self.resumed = resumed
+        self.torn_bytes = torn_bytes
+        self.plan: dict | None = None
+        self.collect: dict[int, tuple] = {}
+        self.checkpoint: dict | None = None
+        self.fallback: dict[int, tuple] = {}
+        self.complete: bool = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    @classmethod
+    def create(cls, run_dir: str | Path, manifest: RunManifest) -> "DurableRun":
+        path = Path(run_dir)
+        path.mkdir(parents=True, exist_ok=True)
+        if (path / MANIFEST_NAME).exists():
+            raise RunDirectoryError(
+                f"{path}: already contains a run "
+                f"(resume it with --resume, or pick a fresh directory)"
+            )
+        manifest.save(path)
+        journal = RunJournal(path / JOURNAL_NAME)
+        journal.create()
+        return cls(path, manifest, journal, resumed=False)
+
+    @classmethod
+    def open(cls, run_dir: str | Path) -> "DurableRun":
+        path = Path(run_dir)
+        manifest = RunManifest.load(path)
+        journal = RunJournal(path / JOURNAL_NAME)
+        scanned = journal.open_for_append()
+        run = cls(
+            path,
+            manifest,
+            journal,
+            resumed=True,
+            torn_bytes=scanned.torn_bytes,
+        )
+        for record in scanned.records:
+            run._absorb(record)
+        return run
+
+    def close(self) -> None:
+        self.journal.close()
+
+    # ------------------------------------------------------------------
+    # replay state
+
+    def _absorb(self, record: JournalRecord) -> None:
+        payload = record.payload
+        if record.kind == KIND_PLAN:
+            self.plan = payload
+        elif record.kind == KIND_COLLECT:
+            self.collect[payload["chunk"]] = (
+                payload["wire"],
+                payload["snapshot"],
+                _letters_from_payload(payload["letters"]),
+            )
+        elif record.kind == KIND_CHECKPOINT:
+            self.checkpoint = payload["snapshot"]
+        elif record.kind == KIND_FALLBACK:
+            self.fallback[payload["chunk"]] = (
+                payload["present"],
+                payload["wire"],
+                _letters_from_payload(payload["letters"]),
+            )
+        elif record.kind == KIND_COMPLETE:
+            self.complete = True
+
+    def begin(self, *, n_chunks: int, distinct_lines: int,
+              chunk_size: int) -> None:
+        """Bind the recomputed chunk plan to the journaled one.
+
+        Fresh run: journal the plan.  Resume: the recomputed plan must
+        equal the journaled one — a divergence means the corpus
+        changed past the manifest's sampled prefix, so every journaled
+        chunk index would be pointing into a different chunking.
+        """
+        recomputed = {
+            "n_chunks": n_chunks,
+            "distinct_lines": distinct_lines,
+            "chunk_size": chunk_size,
+        }
+        if self.plan is None:
+            self.journal.append(KIND_PLAN, recomputed)
+            self.plan = recomputed
+            return
+        if self.plan != recomputed:
+            raise RunJournalError(
+                f"journaled chunk plan {self.plan} does not match the "
+                f"recomputed plan {recomputed} — the corpus content "
+                f"changed since the run was started"
+            )
+        out_of_range = [i for i in self.collect if i >= n_chunks]
+        if out_of_range:
+            raise RunJournalError(
+                f"journal holds collect chunks {sorted(out_of_range)} "
+                f"past the {n_chunks}-chunk plan"
+            )
+
+    # ------------------------------------------------------------------
+    # appends (each one durable before it returns)
+
+    def record_collect(self, chunk: int, wire: bytes, snapshot: dict,
+                       letters) -> None:
+        self.journal.append(
+            KIND_COLLECT,
+            {
+                "chunk": chunk,
+                "wire": wire,
+                "snapshot": snapshot,
+                "letters": _letters_to_payload(letters),
+            },
+        )
+
+    def record_checkpoint(self, snapshot: dict) -> None:
+        self.journal.append(KIND_CHECKPOINT, {"snapshot": snapshot})
+        self.checkpoint = snapshot
+
+    def record_fallback(self, chunk: int, present, wire: bytes,
+                        letters) -> None:
+        self.journal.append(
+            KIND_FALLBACK,
+            {
+                "chunk": chunk,
+                "present": list(present),
+                "wire": wire,
+                "letters": _letters_to_payload(letters),
+            },
+        )
+
+    def record_complete(self, report: dict) -> None:
+        self.journal.append(KIND_COMPLETE, {"report": report})
+        self.complete = True
+        self.manifest.status = STATUS_COMPLETED
+        self.manifest.save(self.path)
+
+
+def mark_interrupted(run_dir: str | Path) -> None:
+    """Stamp a run as cleanly interrupted (the SIGINT/SIGTERM path).
+
+    A SIGKILL never gets here — its runs keep status ``running``,
+    which is how ``repro runs list`` distinguishes "died hard" from
+    "was asked to stop and flushed".
+    """
+    manifest = RunManifest.load(run_dir)
+    if manifest.status != STATUS_COMPLETED:
+        manifest.status = STATUS_INTERRUPTED
+        manifest.save(run_dir)
+
+
+# ----------------------------------------------------------------------
+# inspection (``repro runs list`` / ``repro runs show``)
+
+
+def is_run_dir(path: str | Path) -> bool:
+    return (Path(path) / MANIFEST_NAME).is_file()
+
+
+def iter_run_dirs(root: str | Path) -> list[Path]:
+    """Run directories under *root* (or *root* itself), sorted by name."""
+    root = Path(root)
+    if is_run_dir(root):
+        return [root]
+    if not root.is_dir():
+        raise RunDirectoryError(f"{root}: not a directory")
+    return sorted(
+        (child for child in root.iterdir() if is_run_dir(child)),
+        key=lambda p: p.name,
+    )
+
+
+def run_summary(run_dir: str | Path) -> dict:
+    """Everything ``runs show`` prints, as one plain dict."""
+    path = Path(run_dir)
+    manifest = RunManifest.load(path)
+    journal = RunJournal(path / JOURNAL_NAME)
+    scanned = journal.scan()
+    kinds = {name: 0 for name in KIND_NAMES.values()}
+    for record in scanned.records:
+        kinds[KIND_NAMES[record.kind]] += 1
+    plan = next(
+        (r.payload for r in scanned.records if r.kind == KIND_PLAN), None
+    )
+    report_path = path / REPORT_NAME
+    dead_letters = None
+    if report_path.is_file():
+        with report_path.open(encoding="utf-8") as handle:
+            dead_letters = sum(1 for line in handle if line.strip())
+    return {
+        "run_dir": str(path),
+        "run_id": manifest.run_id,
+        "status": manifest.status,
+        "created_at": manifest.created_at,
+        "corpus": manifest.corpus,
+        "config": manifest.config,
+        "database": manifest.database,
+        "journal": {
+            "frames": len(scanned.records),
+            "valid_bytes": scanned.valid_bytes,
+            "torn_bytes": scanned.torn_bytes,
+            "records": kinds,
+            "complete": kinds["complete"] > 0,
+            "planned_chunks": plan["n_chunks"] if plan else None,
+        },
+        "dead_letters": dead_letters,
+    }

@@ -1,13 +1,23 @@
 """Small shared utilities.
 
-Currently: :class:`BoundedCache`, the size-capped memo dict used by the
-long-running batch paths (estimator parse cache, matcher token/lemma
-and result memos) so corpus-scale processes cannot grow memory without
-limit.
+* :class:`BoundedCache` — the size-capped memo dict used by the
+  long-running batch paths (estimator parse cache, matcher token/lemma
+  and result memos) so corpus-scale processes cannot grow memory
+  without limit.
+* :func:`atomic_write_bytes` / :func:`atomic_write_text` — the one
+  crash-safe file-replacement path shared by every durable writer in
+  the repo (artifact store, run manifests, dead-letter reports,
+  benchmark result files).  Write temp file in the target directory,
+  fsync, rename: a reader — or a process resuming after a crash —
+  observes either the complete old file or the complete new one,
+  never a torn write (``tests/test_utils_atomic.py``).
 """
 
 from __future__ import annotations
 
+import os
+import tempfile
+from pathlib import Path
 from typing import TypeVar
 
 K = TypeVar("K")
@@ -44,3 +54,60 @@ class BoundedCache(dict[K, V]):
         if key not in self and len(self) >= self._cap:
             del self[next(iter(self))]
         super().__setitem__(key, value)
+
+
+# ----------------------------------------------------------------------
+# crash-safe file replacement
+
+
+def atomic_write_bytes(
+    path: str | Path, data: bytes, *, fsync: bool = True
+) -> int:
+    """Replace *path* with *data* atomically; returns the byte count.
+
+    The bytes land in a temp file created in the target's directory
+    (same filesystem, so the final ``os.replace`` is an atomic rename),
+    are flushed and — with *fsync*, the default — fsync'd before the
+    rename.  A crash at any point leaves the target either untouched
+    or fully replaced; the temp file is unlinked on every failure
+    path.
+
+    mkstemp creates the temp file ``0600`` and ``os.replace`` keeps
+    the temp file's mode — without correction, a file written by a
+    deploy user would be unreadable by the service account.  The
+    ordinary umask-respecting mode is granted instead.
+    """
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent or Path("."), prefix=path.name, suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            umask = os.umask(0)
+            os.umask(umask)
+            os.fchmod(handle.fileno(), 0o666 & ~umask)
+            handle.write(data)
+            handle.flush()
+            if fsync:
+                os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return len(data)
+
+
+def atomic_write_text(
+    path: str | Path,
+    text: str,
+    *,
+    encoding: str = "utf-8",
+    fsync: bool = True,
+) -> int:
+    """:func:`atomic_write_bytes` for text content."""
+    return atomic_write_bytes(
+        path, text.encode(encoding), fsync=fsync
+    )

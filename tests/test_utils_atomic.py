@@ -1,0 +1,100 @@
+"""The consolidated atomic-write helpers (repro.utils).
+
+One fsync-aware write path now serves the artifact store, the
+dead-letter report writer, run manifests and the benchmark result
+files; these tests pin the contract they all rely on: the target is
+either absent/old or fully new — never torn — and failed writes leave
+no temp-file litter behind.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.utils import atomic_write_bytes, atomic_write_text
+
+
+class TestAtomicWriteBytes:
+    def test_writes_content_and_returns_length(self, tmp_path):
+        target = tmp_path / "blob.bin"
+        n = atomic_write_bytes(target, b"hello world")
+        assert n == 11
+        assert target.read_bytes() == b"hello world"
+
+    def test_overwrites_existing_file(self, tmp_path):
+        target = tmp_path / "blob.bin"
+        target.write_bytes(b"old content that is longer")
+        atomic_write_bytes(target, b"new")
+        assert target.read_bytes() == b"new"
+
+    def test_no_temp_file_left_behind(self, tmp_path):
+        target = tmp_path / "blob.bin"
+        atomic_write_bytes(target, b"data")
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["blob.bin"]
+
+    def test_mode_respects_umask(self, tmp_path):
+        target = tmp_path / "blob.bin"
+        old = os.umask(0o027)
+        try:
+            atomic_write_bytes(target, b"data")
+        finally:
+            os.umask(old)
+        assert (target.stat().st_mode & 0o777) == 0o640
+
+    def test_failed_replace_leaves_target_untouched(
+        self, tmp_path, monkeypatch
+    ):
+        target = tmp_path / "blob.bin"
+        target.write_bytes(b"precious")
+
+        def broken_replace(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(os, "replace", broken_replace)
+        with pytest.raises(OSError, match="disk full"):
+            atomic_write_bytes(target, b"half-written garbage")
+        monkeypatch.undo()
+        assert target.read_bytes() == b"precious"
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["blob.bin"]
+
+    def test_failed_fsync_leaves_target_untouched(
+        self, tmp_path, monkeypatch
+    ):
+        target = tmp_path / "blob.bin"
+        target.write_bytes(b"precious")
+
+        def broken_fsync(fd):
+            raise OSError("I/O error")
+
+        monkeypatch.setattr(os, "fsync", broken_fsync)
+        with pytest.raises(OSError, match="I/O error"):
+            atomic_write_bytes(target, b"garbage")
+        monkeypatch.undo()
+        assert target.read_bytes() == b"precious"
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["blob.bin"]
+
+    def test_fsync_false_skips_fsync(self, tmp_path, monkeypatch):
+        calls = []
+        real_fsync = os.fsync
+        monkeypatch.setattr(
+            os, "fsync", lambda fd: calls.append(fd) or real_fsync(fd)
+        )
+        atomic_write_bytes(tmp_path / "a.bin", b"x", fsync=False)
+        assert calls == []
+        atomic_write_bytes(tmp_path / "b.bin", b"x")
+        assert len(calls) == 1
+
+
+class TestAtomicWriteText:
+    def test_round_trips_text(self, tmp_path):
+        target = tmp_path / "notes.txt"
+        n = atomic_write_text(target, "ligne accentuée\n")
+        assert target.read_text(encoding="utf-8") == "ligne accentuée\n"
+        assert n == len("ligne accentuée\n".encode())
+
+    def test_custom_encoding(self, tmp_path):
+        target = tmp_path / "latin.txt"
+        atomic_write_text(target, "café", encoding="latin-1")
+        assert target.read_bytes() == "café".encode("latin-1")
