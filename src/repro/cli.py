@@ -430,11 +430,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             ),
             max_concurrent=args.max_concurrent,
             max_queue=args.max_queue,
+            procs=args.procs,
         )
     except ValueError as exc:
         print(f"error: {exc}")
         return 2
-    return serve(config)
+    return serve(config, ready_file=args.ready_file or None)
 
 
 def _cmd_build_artifact(args: argparse.Namespace) -> int:
@@ -645,6 +646,15 @@ def build_parser() -> argparse.ArgumentParser:
                            help="start the service (and any workers) "
                                 "from a build-artifact snapshot for an "
                                 "instant cold start")
+    serve_cmd.add_argument("--procs", type=int, default=1, metavar="N",
+                           help="pre-fork server processes sharing the "
+                                "port via SO_REUSEPORT, each with its "
+                                "own event loop and warm estimator "
+                                "(default 1: single process)")
+    serve_cmd.add_argument("--ready-file", default="", metavar="PATH",
+                           help="write 'host port' to PATH once the "
+                                "service is accepting (how scripts "
+                                "discover a --port 0 bind)")
     serve_cmd.set_defaults(func=_cmd_serve)
 
     build_artifact = sub.add_parser(

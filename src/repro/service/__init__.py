@@ -4,9 +4,18 @@ PRs 1–2 made estimation fast but batch-only: every invocation paid
 full cold start (USDA load, index build, cache warm-up).  This
 subpackage turns the pipeline into an always-on JSON API — the shape
 downstream consumers (recipe recommenders, calorie-prediction
-datasets) assume — with zero third-party dependencies: the server is
-stdlib ``http.server``, threaded, fronted by a warm shared
-:class:`~repro.core.estimator.NutritionEstimator`.
+datasets) assume — with zero third-party dependencies.  The server is
+a ``selectors`` **event loop**: one thread owns every socket
+(non-blocking accept, incremental HTTP/1.1 parsing with keep-alive
+and pipelining, single-send responses) while estimation runs on a
+small worker pool, all fronted by a warm shared
+:class:`~repro.core.estimator.NutritionEstimator`.  ``serve --procs
+N`` pre-forks N such processes onto one port via ``SO_REUSEPORT``
+with supervised respawn and coordinated graceful drain.  The seed
+threaded ``http.server`` implementation survives as
+:class:`~repro.service.threading_server.ThreadingNutritionService`,
+the byte-parity oracle for the server matrix in
+``tests/test_service_http.py``.
 
 Endpoints (full schemas in ``docs/api.md``)::
 
@@ -36,8 +45,15 @@ Modules:
   admission, deadlines, metrics, typed errors),
 * :mod:`repro.service.resilience` — :class:`Deadline`,
   :class:`AdmissionController`, :class:`CircuitBreaker`,
-* :mod:`repro.service.server`   — :class:`NutritionService` and the
-  blocking :func:`serve` entry point (graceful drain + shutdown),
+* :mod:`repro.service.server`   — the event-loop
+  :class:`NutritionService` and the blocking :func:`serve` entry
+  point (graceful drain + shutdown),
+* :mod:`repro.service.httpproto` — incremental HTTP/1.1 parsing and
+  single-send response rendering,
+* :mod:`repro.service.prefork`  — the ``--procs N`` supervisor
+  (``SO_REUSEPORT`` workers, respawn, coordinated drain),
+* :mod:`repro.service.threading_server` — the seed threaded server,
+  kept as the byte-parity oracle,
 * :mod:`repro.service.metrics`  — the ``/metrics`` registry,
 * :mod:`repro.service.errors`   — the typed error hierarchy.
 
@@ -54,9 +70,11 @@ or from the command line: ``python -m repro serve --port 8080``.
 from repro.service.errors import ServiceError, ValidationError
 from repro.service.server import NutritionService, serve
 from repro.service.state import ServiceConfig, ServiceState
+from repro.service.threading_server import ThreadingNutritionService
 
 __all__ = [
     "NutritionService",
+    "ThreadingNutritionService",
     "ServiceConfig",
     "ServiceState",
     "ServiceError",

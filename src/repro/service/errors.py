@@ -88,6 +88,18 @@ class PayloadTooLargeError(ServiceError):
     code = "payload_too_large"
 
 
+class HeadersTooLargeError(ServiceError):
+    """Request line + headers exceed the protocol cap (HTTP 431).
+
+    Raised by the event-loop server's incremental parser before the
+    header terminator arrives, so a drip-feeding client cannot make
+    the server buffer unbounded header bytes.
+    """
+
+    status = 431
+    code = "headers_too_large"
+
+
 class ServiceOverloadedError(ServiceError):
     """Request shed by admission control (HTTP 503).
 

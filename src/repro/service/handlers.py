@@ -128,6 +128,54 @@ def _route(method: str, path: str) -> Endpoint:
     raise NotFoundError(f"no such endpoint: {path}")
 
 
+def dispatch_fast(
+    state: ServiceState, method: str, path: str, payload
+) -> Response | None:
+    """Complete the request inline if it needs no estimation work.
+
+    The event-loop server calls this on its loop thread.  Anything
+    that finishes in microseconds is answered here — introspection
+    endpoints, routing and validation errors, and response-cache hits
+    — with metrics semantics identical to :func:`dispatch`.  A return
+    of ``None`` means real estimation work is required: the caller
+    must run the full :func:`dispatch` off the loop thread (the
+    payload is re-validated there; validation is cheap next to the
+    estimation it fronts), and **nothing** has been observed in the
+    metrics registry yet.
+    """
+    metric_name = path if path in _KNOWN_PATHS else "(unknown)"
+    started = time.perf_counter()
+    try:
+        endpoint = _route(method, path)
+        if not endpoint.cacheable:
+            body = codec.dumps_body(endpoint.invoke(state, payload, None))
+            state.metrics.observe(metric_name, time.perf_counter() - started)
+            return Response(200, body)
+        request = endpoint.validate(payload)
+        key = codec.cache_key(path, request)
+        cached = state.cached_response(key)
+        if cached is not None:
+            state.metrics.observe(
+                metric_name, time.perf_counter() - started, cache_hit=True
+            )
+            return Response(200, cached, cache_hit=True)
+        return None
+    except ServiceError as exc:
+        state.metrics.observe(
+            metric_name, time.perf_counter() - started, error=True
+        )
+        return Response(
+            exc.status, codec.dumps_body(exc.to_body()), headers=exc.headers()
+        )
+    except Exception:
+        log.exception("unhandled error in %s %s", method, path)
+        state.metrics.observe(
+            metric_name, time.perf_counter() - started, error=True
+        )
+        fallback = InternalError("internal server error")
+        return Response(fallback.status, codec.dumps_body(fallback.to_body()))
+
+
 def dispatch(state: ServiceState, method: str, path: str, payload) -> Response:
     """Handle one decoded request end to end.
 

@@ -60,6 +60,48 @@ class _EndpointMetrics:
         }
 
 
+class ConnectionStats:
+    """Connection-level counters for the event-loop server.
+
+    Incremented by the loop thread; bare ``int`` increments are atomic
+    under the GIL, so reads from other threads (``metrics_snapshot``
+    in tests) see consistent-enough values without a lock.  The
+    protocol test suite asserts on these to prove adversarial clients
+    (slowloris, mid-body disconnects, malformed requests) are closed
+    and accounted for rather than leaking.
+    """
+
+    __slots__ = (
+        "opened",
+        "closed",
+        "io_timeouts",
+        "idle_closed",
+        "protocol_errors",
+        "aborted",
+        "pipelined",
+    )
+
+    def __init__(self) -> None:
+        self.opened = 0  # connections accepted
+        self.closed = 0  # connections fully torn down
+        self.io_timeouts = 0  # closed mid-request (slowloris et al.)
+        self.idle_closed = 0  # keep-alive connections reaped idle
+        self.protocol_errors = 0  # closed after a malformed request
+        self.aborted = 0  # client vanished mid-request/mid-response
+        self.pipelined = 0  # requests served beyond a batch's first
+
+    def snapshot(self) -> dict:
+        return {
+            "opened": self.opened,
+            "active": self.opened - self.closed,
+            "io_timeouts": self.io_timeouts,
+            "idle_closed": self.idle_closed,
+            "protocol_errors": self.protocol_errors,
+            "aborted": self.aborted,
+            "pipelined_requests": self.pipelined,
+        }
+
+
 class ServiceMetrics:
     """Thread-safe metrics registry for the whole service."""
 

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import dataclasses
 import logging
+import os
 import threading
 from collections import Counter
 from dataclasses import dataclass, field
@@ -39,7 +40,7 @@ from repro.pipeline.errors import PipelineError
 from repro.pipeline.spec import EstimatorSpec
 from repro.service import codec
 from repro.service.errors import ServiceNotReadyError
-from repro.service.metrics import ServiceMetrics
+from repro.service.metrics import ConnectionStats, ServiceMetrics
 from repro.service.resilience import (
     AdmissionController,
     CircuitBreaker,
@@ -112,6 +113,27 @@ class ServiceConfig:
         even with ``workers > 1`` (pool fan-out costs more than small
         tables are worth).  Exposed mainly so resilience tests can
         force the engine path with small corpora.
+    procs:
+        Pre-fork server processes (``repro serve --procs``).  ``1``
+        serves from the single event-loop process; above that the
+        parent forks ``procs`` workers that share the port via
+        ``SO_REUSEPORT``, each restoring the same artifact.
+    worker_id:
+        Which pre-fork worker this process is (0-based; ``0`` for a
+        single-process service).  Surfaced in ``/healthz`` and
+        ``/metrics`` so load harnesses can aggregate per-process
+        counters instead of silently reading one worker's share.
+    reuse_port:
+        Bind the listening socket with ``SO_REUSEPORT`` so sibling
+        worker processes can bind the same port (set by the pre-fork
+        parent on worker configs; rarely useful directly).
+    io_timeout_s:
+        Receive budget for one request's bytes: a connection that has
+        started a request (or has an unflushed response) but makes no
+        progress for this long is closed — the slowloris bound.
+    idle_timeout_s:
+        How long a keep-alive connection may sit between requests
+        before the server closes it.
     """
 
     host: str = "127.0.0.1"
@@ -126,6 +148,11 @@ class ServiceConfig:
     breaker_threshold: int = 3
     breaker_cooldown_s: float = 30.0
     engine_min_lines: int = ENGINE_MIN_DISTINCT_LINES
+    procs: int = 1
+    worker_id: int = 0
+    reuse_port: bool = False
+    io_timeout_s: float = 10.0
+    idle_timeout_s: float = 60.0
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -162,6 +189,18 @@ class ServiceConfig:
             raise ValueError(
                 f"engine_min_lines must be >= 1: {self.engine_min_lines}"
             )
+        if self.procs < 1:
+            raise ValueError(f"procs must be >= 1: {self.procs}")
+        if self.worker_id < 0:
+            raise ValueError(f"worker_id must be >= 0: {self.worker_id}")
+        if self.io_timeout_s <= 0:
+            raise ValueError(
+                f"io_timeout_s must be positive: {self.io_timeout_s}"
+            )
+        if self.idle_timeout_s <= 0:
+            raise ValueError(
+                f"idle_timeout_s must be positive: {self.idle_timeout_s}"
+            )
 
 
 class ServiceState:
@@ -170,6 +209,9 @@ class ServiceState:
     def __init__(self, config: ServiceConfig):
         self.config = config
         self.metrics = ServiceMetrics()
+        # Connection-level counters, populated by the event-loop
+        # server (stay zero under the legacy threading server).
+        self.connections = ConnectionStats()
         # The warm shared estimator — the service's whole reason to
         # exist.  Built eagerly so the first request is already fast.
         self._estimator = config.spec.build()
@@ -498,6 +540,9 @@ class ServiceState:
             "version": __version__,
             "uptime_s": round(self.metrics.uptime_s, 3),
             "workers": self.config.workers,
+            "procs": self.config.procs,
+            "worker_id": self.config.worker_id,
+            "pid": os.getpid(),
             "artifact": self.config.spec.artifact_path,
             "requests_total": self.metrics.total_requests(),
         }
@@ -527,5 +572,14 @@ class ServiceState:
         body = self.metrics.snapshot()
         body["response_cache"] = self.cache_info()
         body["workers"] = self.config.workers
+        # Which process answered: with --procs N each worker serves
+        # its own counters, so scrapers must aggregate by worker_id
+        # (the load harness does; see docs/operations.md).
+        body["server"] = {
+            "worker_id": self.config.worker_id,
+            "pid": os.getpid(),
+            "procs": self.config.procs,
+        }
+        body["connections"] = self.connections.snapshot()
         body["resilience"] = self.resilience_snapshot()
         return body

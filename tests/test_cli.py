@@ -231,19 +231,23 @@ class TestServe:
 
         captured = {}
 
-        def fake_serve(config):
+        def fake_serve(config, ready_file=None):
             captured["config"] = config
+            captured["ready_file"] = ready_file
             return 0
 
         monkeypatch.setattr(cli, "serve", fake_serve)
         code = main(["serve", "--port", "0", "--workers", "2",
-                     "--cache-cap", "128", "--host", "0.0.0.0"])
+                     "--cache-cap", "128", "--host", "0.0.0.0",
+                     "--procs", "2"])
         assert code == 0
         config = captured["config"]
         assert config.host == "0.0.0.0"
         assert config.port == 0
         assert config.workers == 2
         assert config.cache_cap == 128
+        assert config.procs == 2
+        assert captured["ready_file"] is None
 
     def test_serve_defaults(self, monkeypatch):
         import repro.cli as cli
@@ -251,13 +255,17 @@ class TestServe:
 
         captured = {}
         monkeypatch.setattr(
-            cli, "serve", lambda config: captured.setdefault("c", config) and 0
+            cli, "serve",
+            lambda config, ready_file=None: (
+                captured.setdefault("c", config) and 0
+            ),
         )
         main(["serve"])
         config = captured["c"]
         assert (config.host, config.port, config.workers) == (
             "127.0.0.1", 8080, 1)
         assert config.cache_cap == DEFAULT_RESPONSE_CACHE_CAP
+        assert config.procs == 1
 
     def test_serve_rejects_bad_workers(self, capsys):
         assert main(["serve", "--workers", "0"]) == 2
@@ -274,7 +282,9 @@ class TestServe:
         captured = {}
         monkeypatch.setattr(
             cli, "serve",
-            lambda config: captured.setdefault("c", config) and 0,
+            lambda config, ready_file=None: (
+                captured.setdefault("c", config) and 0
+            ),
         )
         main(["serve", "--artifact", str(path)])
         assert captured["c"].spec.artifact_path == str(path)

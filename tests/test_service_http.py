@@ -1,11 +1,19 @@
 """Integration tests driving a live ``repro.service`` server.
 
-A real ``ThreadingHTTPServer`` is bound to an OS-assigned port and
-exercised over a socket with ``http.client`` — the same path external
-consumers take.  The headline assertion is the service parity
+The event-loop :class:`NutritionService` is bound to an OS-assigned
+port and exercised over a socket with ``http.client`` — the same path
+external consumers take.  The headline assertion is the service parity
 guarantee: ``/v1/estimate`` answers with **byte-identical** profiles
 to the in-process estimator's corpus protocol for the same recipe,
 across a generated corpus (ISSUE 3 acceptance criterion).
+
+:class:`TestServerMatrix` extends that guarantee across server
+implementations (ISSUE 8): every endpoint and every error-envelope
+case is replayed against the seed threading server, the in-process
+event-loop server, and real ``repro serve`` subprocesses at
+``--procs 1`` and ``--procs 2``, asserting byte-identical bodies and
+status/header parity (``Date`` excluded) — the threading server is
+the recorded wire contract the event loop must reproduce.
 """
 
 from __future__ import annotations
@@ -16,7 +24,17 @@ import json
 import pytest
 
 from repro import NutritionEstimator
-from repro.service import NutritionService, ServiceConfig
+from repro.service import (
+    NutritionService,
+    ServiceConfig,
+    ThreadingNutritionService,
+)
+from service_harness import (
+    ServeProcess,
+    build_request,
+    raw_request,
+    split_response,
+)
 
 
 @pytest.fixture(scope="module")
@@ -336,3 +354,120 @@ class TestLifecycle:
             response, body = call(connection, "GET", "/healthz")
             assert body["workers"] == 2
             connection.close()
+
+
+# ----------------------------------------------------------------------
+# the server matrix: threading seed vs event loop vs --procs subprocesses
+
+#: Every endpoint + error-envelope case, as deterministic raw request
+#: bytes.  Each server sees each case exactly once, in this order, so
+#: cache behaviour (all misses) is identical everywhere.  ``full``
+#: cases compare status line, headers (minus Date) and exact body
+#: bytes; ``status`` cases have process-varying bodies (uptime, pid)
+#: and compare status + Content-Type only.
+MATRIX_CASES = [
+    ("healthz", build_request("GET", "/healthz"), "status"),
+    ("readyz", build_request("GET", "/readyz"), "status"),
+    ("metrics", build_request("GET", "/metrics"), "status"),
+    ("estimate", build_request("POST", "/v1/estimate", {
+        "ingredients": ["2 cups all-purpose flour", "1 tsp salt",
+                        "3 cloves garlic , minced"],
+        "servings": 4,
+    }), "full"),
+    ("estimate_batch", build_request("POST", "/v1/estimate_batch", {
+        "recipes": [
+            {"ingredients": ["1 cup white sugar"], "servings": 2},
+            {"ingredients": ["2 teaspoons garam masala",
+                             "1 small onion , finely chopped"],
+             "servings": 1},
+        ],
+    }), "full"),
+    ("match", build_request("POST", "/v1/match", {
+        "name": "red lentils", "top": 3,
+    }), "full"),
+    ("parse", build_request("POST", "/v1/parse", {
+        "text": "1 small onion , finely chopped",
+    }), "full"),
+    ("explain", build_request("POST", "/v1/explain", {
+        "text": "1 head butter cup",
+        "context": ["2 tablespoons butter", "1 tablespoon butter"],
+    }), "full"),
+    ("invalid_json", build_request(
+        "POST", "/v1/estimate", body=b"this is not json",
+    ), "full"),
+    ("validation_error", build_request("POST", "/v1/estimate", {
+        "ingredients": [], "servings": 2,
+    }), "full"),
+    ("not_found", build_request("GET", "/v1/unknown"), "full"),
+    ("method_not_allowed", build_request("GET", "/v1/estimate"), "full"),
+    ("bad_content_length", build_request(
+        "POST", "/v1/parse", headers={"Content-Length": "abc"},
+    ), "full"),
+    ("negative_content_length", build_request(
+        "POST", "/v1/parse", headers={"Content-Length": "-1"},
+    ), "full"),
+    ("payload_too_large", build_request(
+        "POST", "/v1/estimate",
+        headers={"Content-Length": str((1 << 20) + 1)},
+    ), "full"),
+]
+
+MATRIX_SERVERS = ("event-loop", "procs-1", "procs-2")
+
+
+@pytest.fixture(scope="module")
+def matrix_responses(tmp_path_factory):
+    """Every case against every server, one fresh connection per case."""
+    tmp = tmp_path_factory.mktemp("server-matrix")
+    with ThreadingNutritionService(ServiceConfig(port=0)) as seed, \
+            NutritionService(ServiceConfig(port=0)) as loop, \
+            ServeProcess(tmp, procs=1) as one, \
+            ServeProcess(tmp, procs=2) as two:
+        targets = {
+            "threading-seed": (seed.host, seed.port),
+            "event-loop": (loop.host, loop.port),
+            "procs-1": (one.host, one.port),
+            "procs-2": (two.host, two.port),
+        }
+        responses: dict[str, dict] = {name: {} for name in targets}
+        for case_name, request, _mode in MATRIX_CASES:
+            for server, (host, port) in targets.items():
+                responses[server][case_name] = split_response(
+                    raw_request(host, port, request)
+                )
+        yield responses
+
+
+class TestServerMatrix:
+    """Byte parity across threading vs event-loop vs multi-proc."""
+
+    @pytest.mark.parametrize(
+        "case_name,mode",
+        [(name, mode) for name, _req, mode in MATRIX_CASES],
+    )
+    def test_parity_with_seed_server(self, matrix_responses, case_name, mode):
+        status, status_line, headers, body = (
+            matrix_responses["threading-seed"][case_name]
+        )
+        for server in MATRIX_SERVERS:
+            got = matrix_responses[server][case_name]
+            if mode == "full":
+                assert got == (status, status_line, headers, body), (
+                    f"{server} diverges from threading seed on "
+                    f"{case_name}"
+                )
+            else:
+                assert got[0] == status, (server, case_name)
+                assert "Content-Type: application/json" in got[2], (
+                    server, case_name,
+                )
+
+    def test_matrix_covers_success_and_error_envelopes(self):
+        statuses = set()
+        for _name, _req, mode in MATRIX_CASES:
+            if mode == "full":
+                statuses.add(_name)
+        # Error envelopes asserted byte-identical, not just successes.
+        assert {"invalid_json", "validation_error", "not_found",
+                "method_not_allowed", "bad_content_length",
+                "payload_too_large"} <= statuses
