@@ -26,6 +26,23 @@ from repro.utils import atomic_write_text
 #: Corpus scale; override with REPRO_BENCH_RECIPES for bigger runs.
 N_RECIPES = int(os.environ.get("REPRO_BENCH_RECIPES", "1200"))
 
+#: Pinned sharded-engine shape for every benchmark that spins up
+#: :class:`repro.pipeline.ShardedCorpusEstimator`.  Both knobs are
+#: explicit (never the engine's defaults) and recorded in the emitted
+#: report, so a committed series and a CI smoke series are always
+#: comparable run-to-run: a default drifting in the engine can never
+#: silently re-shape the benchmark.
+BENCH_CHUNK_SIZE = int(os.environ.get("REPRO_BENCH_CHUNK_SIZE", "256"))
+#: Worker counts for scaling series — identical in smoke and full
+#: mode.  Counts above the host's core count are still measured (the
+#: oversubscription trajectory is worth tracking) but exempt from the
+#: non-regression gate; see ``bench_throughput.py``.
+BENCH_WORKER_COUNTS: tuple[int, ...] = tuple(
+    int(w)
+    for w in os.environ.get("REPRO_BENCH_WORKERS", "1,2,4").split(",")
+    if w.strip()
+)
+
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 #: Subdirectory (under the results dir) that quarantines smoke output.
 SMOKE_SUBDIR = "smoke"

@@ -307,6 +307,9 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         finally:
             for signum, handler in previous_handlers.items():
                 signal.signal(signum, handler)
+            # Release the persistent worker pool and its shared-memory
+            # artifact segment before the process reports results.
+            engine.close()
         elapsed = time.perf_counter() - start
         mode = f"{args.workers} worker(s), two-phase corpus protocol"
         report = engine.last_report

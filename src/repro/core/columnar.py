@@ -1,0 +1,233 @@
+"""Columnar per-chunk estimation: batch the stages, keep the bits.
+
+The per-line reference path (:meth:`NutritionEstimator._estimate_line`)
+walks every stage — tokenize, NER tag, entity grouping, description
+match, unit chain — once per line.  This module reorganizes the same
+work *chunk-at-a-time*:
+
+1. **Parse stage** — distinct uncached lines are tokenized together
+   (ASCII fast path), tagged with the tagger's ``predict_batch`` when
+   it has one (the perceptron runs one chunk-wide emission gather, the
+   rule tagger memoizes its pure per-token rules), and grouped through
+   the same :func:`repro.core.estimator.group_entities`.
+2. **Match stage** — the chunk's distinct ``(name, state, temperature,
+   dry_fresh)`` queries go through
+   :meth:`DescriptionMatcher.match_chunk`: one flattened-postings
+   bincount pass over the whole chunk instead of a dict walk per query.
+3. **Tail stage** — every line then runs the unmodified
+   :meth:`NutritionEstimator._estimate_from_parsed` (quantity parse,
+   unit chain, profile), hitting the caches the batch stages warmed.
+
+**Parity contract.**  Stages 1-2 only *pre-compute into the same
+memoization caches* (parse cache, matcher cache) in the same
+first-occurrence insertion order the per-line loop would use, and
+stage 3 is literally the per-line code — so estimates, reason codes,
+traces, cache eviction behaviour and per-line exception surfacing are
+bit-identical to the reference.  ``tests/test_columnar_parity.py``
+sweeps this differentially across all matcher configs and chunk
+sizes.
+
+Failures stay per-line: any line whose stage raises (poisoned input,
+fault injection, hostile text) is captured as a :class:`LineOutcome`
+error and re-raised by the caller at that line's position, exactly
+where the per-line loop would have raised it.
+"""
+
+from __future__ import annotations
+
+from repro import faults
+from repro.core.estimator import (
+    IngredientEstimate,
+    NutritionEstimator,
+    ParsedIngredient,
+    group_entities,
+)
+from repro.text.tokenize import tokenize_fast
+from repro.utils import DEFAULT_CACHE_CAP, BoundedCache
+
+
+class LineOutcome:
+    """One line's result: an estimate, or the exception its stage raised."""
+
+    __slots__ = ("estimate", "error")
+
+    def __init__(
+        self,
+        estimate: IngredientEstimate | None = None,
+        error: BaseException | None = None,
+    ):
+        self.estimate = estimate
+        self.error = error
+
+    def unwrap(self) -> IngredientEstimate:
+        """The estimate, or re-raise the captured per-line exception."""
+        if self.error is not None:
+            raise self.error
+        return self.estimate
+
+
+class ColumnarPipeline:
+    """Chunk-batched front end over one :class:`NutritionEstimator`."""
+
+    def __init__(self, estimator: NutritionEstimator):
+        self._estimator = estimator
+        # quantity string -> parsed float (or None): pure function,
+        # heavily repeated ("1", "1/2", "2") across any real chunk.
+        self._quantity_memo: dict[str, float | None] = BoundedCache(
+            DEFAULT_CACHE_CAP
+        )
+
+    def estimate_lines(
+        self, texts: list[str], *, consult_fallback: bool = True
+    ) -> list[LineOutcome]:
+        """Estimate a chunk of lines; one :class:`LineOutcome` each.
+
+        Drop-in chunk equivalent of calling ``_estimate_line(text,
+        consult_fallback)`` per line (poison faults included): the
+        caller loops the outcomes in order and ``unwrap()``s, getting
+        identical estimates and identical exceptions at identical
+        positions.
+        """
+        estimator = self._estimator
+        outcomes: list[LineOutcome | None] = [None] * len(texts)
+
+        plan = faults.active_plan()
+        if plan is not None:
+            for i, text in enumerate(texts):
+                try:
+                    plan.poison(text)
+                except Exception as exc:
+                    outcomes[i] = LineOutcome(error=exc)
+
+        # Stage 1: batched parse of distinct lines the cache misses.
+        parse_cache = estimator._parse_cache
+        parsed: dict[str, ParsedIngredient | LineOutcome] = {}
+        pending: list[str] = []
+        for i, text in enumerate(texts):
+            if outcomes[i] is not None or text in parsed:
+                continue
+            hit = parse_cache.get(text)
+            if hit is not None:
+                parsed[text] = hit
+            else:
+                parsed[text] = None  # placeholder keeps order/dedup
+                pending.append(text)
+        if pending:
+            self._parse_batch(pending, parsed)
+
+        # Stage 2: one columnar matching pass warms the matcher cache.
+        self._warm_matches(texts, outcomes, parsed)
+
+        # Stage 3: the per-line reference tail over warmed caches.
+        memo = self._quantity_memo
+        for i, text in enumerate(texts):
+            if outcomes[i] is not None:
+                continue
+            item = parsed[text]
+            if isinstance(item, LineOutcome):
+                outcomes[i] = item
+                continue
+            try:
+                outcomes[i] = LineOutcome(
+                    estimate=estimator._estimate_from_parsed(
+                        item, consult_fallback, quantity_memo=memo
+                    )
+                )
+            except Exception as exc:
+                outcomes[i] = LineOutcome(error=exc)
+        return outcomes
+
+    def _parse_batch(
+        self,
+        pending: list[str],
+        parsed: dict[str, ParsedIngredient | LineOutcome],
+    ) -> None:
+        """Tokenize + tag + group *pending* texts, chunk-at-a-time.
+
+        Results (or per-line failures) land in *parsed*; successful
+        parses also enter the estimator's parse cache in pending
+        order — the same first-occurrence insertion order the
+        per-line loop produces.
+        """
+        estimator = self._estimator
+        token_lists: list[list[str] | None] = []
+        for text in pending:
+            try:
+                token_lists.append(tokenize_fast(text))
+            except Exception as exc:
+                parsed[text] = LineOutcome(error=exc)
+                token_lists.append(None)
+        ok = [
+            (text, tokens)
+            for text, tokens in zip(pending, token_lists)
+            if tokens is not None
+        ]
+        if not ok:
+            return
+
+        tagger = estimator.tagger
+        batch = getattr(tagger, "predict_batch", None)
+        tags_lists: list[list[str] | LineOutcome] | None = None
+        if batch is not None:
+            try:
+                tags_lists = batch([list(tokens) for _, tokens in ok])
+            except Exception:
+                tags_lists = None  # per-line fallback surfaces errors
+        if tags_lists is None:
+            tags_lists = []
+            for _, tokens in ok:
+                try:
+                    tags_lists.append(tagger.predict(list(tokens)))
+                except Exception as exc:
+                    tags_lists.append(LineOutcome(error=exc))
+
+        for (text, tokens), tags in zip(ok, tags_lists):
+            if isinstance(tags, LineOutcome):
+                parsed[text] = tags
+                continue
+            try:
+                result = group_entities(text, tuple(tokens), tuple(tags))
+            except Exception as exc:
+                parsed[text] = LineOutcome(error=exc)
+                continue
+            parsed[text] = result
+            estimator._parse_cache[text] = result
+
+    def _warm_matches(
+        self,
+        texts: list[str],
+        outcomes: list[LineOutcome | None],
+        parsed: dict[str, ParsedIngredient | LineOutcome],
+    ) -> None:
+        """Run the chunk's distinct named queries through match_chunk.
+
+        Purely a cache warm-up: the stage-3 tail re-asks ``match()``
+        per line and hits the memo.  If the batch pass fails as a
+        whole, it is abandoned and the tail's per-line calls surface
+        any errors at the right lines.
+        """
+        estimator = self._estimator
+        seen: set[tuple[str, str, str, str]] = set()
+        queries: list[tuple[str, str, str, str]] = []
+        for i, text in enumerate(texts):
+            if outcomes[i] is not None:
+                continue
+            item = parsed[text]
+            if isinstance(item, LineOutcome) or not item.name:
+                continue
+            key = (
+                item.name.lower(), item.state.lower(),
+                item.temperature.lower(), item.dry_fresh.lower(),
+            )
+            if key in seen:
+                continue
+            seen.add(key)
+            queries.append(
+                (item.name, item.state, item.temperature, item.dry_fresh)
+            )
+        if not queries:
+            return
+        try:
+            estimator.matcher.match_chunk(queries)
+        except Exception:
+            pass  # tail falls back to per-line match()

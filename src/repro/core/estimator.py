@@ -160,6 +160,56 @@ def quarantined_estimate(text: str, error: BaseException) -> IngredientEstimate:
     )
 
 
+def group_entities(
+    text: str, tokens: tuple[str, ...], tags: tuple[str, ...]
+) -> ParsedIngredient:
+    """Group tagged tokens into a :class:`ParsedIngredient`.
+
+    The entity-grouping half of :meth:`NutritionEstimator.parse`,
+    shared verbatim with the columnar chunk pipeline
+    (:mod:`repro.core.columnar`) so both paths produce identical
+    parses from identical ``(tokens, tags)``.  See :meth:`parse` for
+    the segment/primary-run semantics.
+    """
+    segments: list[list[int]] = [[]]
+    for i, token in enumerate(tokens):
+        if token == "," or token.lower() in ("or", "plus"):
+            segments.append([])
+        else:
+            segments[-1].append(i)
+    primary = next(
+        (seg for seg in segments if any(tags[i] == "NAME" for i in seg)),
+        list(range(len(tokens))),
+    )
+
+    def first_run(tag: str) -> list[str]:
+        run: list[str] = []
+        in_run = False
+        for i in primary:
+            if tags[i] == tag:
+                run.append(tokens[i])
+                in_run = True
+            elif in_run:
+                break
+        return run
+
+    name_tokens = [tokens[i] for i in primary if tags[i] == "NAME"]
+    state_tokens = [t for t, g in zip(tokens, tags) if g == "STATE"]
+    quantity = " ".join(first_run("QUANTITY")).replace(" - ", "-")
+    return ParsedIngredient(
+        text=text,
+        tokens=tokens,
+        tags=tags,
+        name=" ".join(name_tokens),
+        state=" ".join(state_tokens),
+        unit=" ".join(first_run("UNIT")),
+        quantity=quantity,
+        temperature=" ".join(tokens[i] for i in primary if tags[i] == "TEMP"),
+        dry_fresh=" ".join(tokens[i] for i in primary if tags[i] == "DF"),
+        size=" ".join(tokens[i] for i in primary if tags[i] == "SIZE"),
+    )
+
+
 class NutritionEstimator:
     """The full pipeline over one nutrient database."""
 
@@ -207,6 +257,7 @@ class NutritionEstimator:
         # cost once per distinct line.  Size-capped (FIFO) so
         # long-running processes cannot grow without limit.
         self._parse_cache: dict[str, ParsedIngredient] = BoundedCache(cache_cap)
+        self._columnar = None  # lazy ColumnarPipeline (repro.core.columnar)
 
     @property
     def database(self) -> NutrientDatabase:
@@ -224,6 +275,22 @@ class NutritionEstimator:
     @property
     def fallback(self) -> UnitFallback:
         return self._fallback
+
+    @property
+    def columnar(self):
+        """The batched per-chunk pipeline bound to this estimator.
+
+        Built lazily (the module imports numpy-adjacent helpers) and
+        memoized; see :mod:`repro.core.columnar`.  Results are
+        bit-identical to :meth:`_estimate_line` — the columnar stages
+        only reorganize *where* work happens (per chunk instead of per
+        line), never *what* is computed.
+        """
+        if self._columnar is None:
+            from repro.core.columnar import ColumnarPipeline
+
+            self._columnar = ColumnarPipeline(self)
+        return self._columnar
 
     # ------------------------------------------------------------------
     # stage 1: ingredient data mining
@@ -246,44 +313,7 @@ class NutritionEstimator:
         """
         tokens = tuple(tokenize(text))
         tags = tuple(self._tagger.predict(list(tokens)))
-
-        segments: list[list[int]] = [[]]
-        for i, token in enumerate(tokens):
-            if token == "," or token.lower() in ("or", "plus"):
-                segments.append([])
-            else:
-                segments[-1].append(i)
-        primary = next(
-            (seg for seg in segments if any(tags[i] == "NAME" for i in seg)),
-            list(range(len(tokens))),
-        )
-
-        def first_run(tag: str) -> list[str]:
-            run: list[str] = []
-            in_run = False
-            for i in primary:
-                if tags[i] == tag:
-                    run.append(tokens[i])
-                    in_run = True
-                elif in_run:
-                    break
-            return run
-
-        name_tokens = [tokens[i] for i in primary if tags[i] == "NAME"]
-        state_tokens = [t for t, g in zip(tokens, tags) if g == "STATE"]
-        quantity = " ".join(first_run("QUANTITY")).replace(" - ", "-")
-        return ParsedIngredient(
-            text=text,
-            tokens=tokens,
-            tags=tags,
-            name=" ".join(name_tokens),
-            state=" ".join(state_tokens),
-            unit=" ".join(first_run("UNIT")),
-            quantity=quantity,
-            temperature=" ".join(tokens[i] for i in primary if tags[i] == "TEMP"),
-            dry_fresh=" ".join(tokens[i] for i in primary if tags[i] == "DF"),
-            size=" ".join(tokens[i] for i in primary if tags[i] == "SIZE"),
-        )
+        return group_entities(text, tokens, tags)
 
     # ------------------------------------------------------------------
     # stage 3: units
@@ -346,7 +376,27 @@ class NutritionEstimator:
         public :meth:`estimate_ingredient` adds the incremental
         observation side effect.
         """
-        parsed = self._parse_cached(text)
+        return self._estimate_from_parsed(
+            self._parse_cached(text), consult_fallback
+        )
+
+    def _estimate_from_parsed(
+        self,
+        parsed: ParsedIngredient,
+        consult_fallback: bool = True,
+        *,
+        quantity_memo: dict[str, float | None] | None = None,
+    ) -> IngredientEstimate:
+        """Stages 2-4 for an already-parsed phrase.
+
+        The shared tail of :meth:`_estimate_line`, also driven by the
+        columnar chunk pipeline (:mod:`repro.core.columnar`) after its
+        batched parse/match stages — one implementation, so the two
+        paths cannot drift.  *quantity_memo* (columnar only) caches
+        :func:`try_parse_quantity` results per distinct quantity
+        string; the function is pure, so memoization cannot change
+        outcomes.
+        """
         if not parsed.name:
             return IngredientEstimate(
                 parsed=parsed,
@@ -365,7 +415,14 @@ class NutritionEstimator:
                 trace=(REASON_NO_MATCH,),
             )
 
-        quantity = try_parse_quantity(parsed.quantity) if parsed.quantity else None
+        if not parsed.quantity:
+            quantity = None
+        elif quantity_memo is not None and parsed.quantity in quantity_memo:
+            quantity = quantity_memo[parsed.quantity]
+        else:
+            quantity = try_parse_quantity(parsed.quantity)
+            if quantity_memo is not None:
+                quantity_memo[parsed.quantity] = quantity
         if quantity is None:
             quantity = 1.0  # "salt to taste" and missing quantities
 
@@ -469,6 +526,7 @@ class NutritionEstimator:
         *,
         quarantine: DeadLetterLog | None = None,
         ordinal_base: int = 0,
+        columnar: bool = False,
     ) -> tuple[dict[str, IngredientEstimate], dict[str, dict[str, int]]]:
         """Corpus pass 1 over distinct ingredient lines (shardable).
 
@@ -487,17 +545,37 @@ class NutritionEstimator:
         Without it (the default), exceptions propagate — strict mode,
         the seed behaviour.
 
+        With ``columnar=True`` the chunk is driven through the batched
+        pipeline (:mod:`repro.core.columnar`): same estimates, same
+        per-line exception surfacing and dead-letter records, chunk-at-
+        a-time execution.
+
         Returns ``(text -> estimate, observation snapshot)``.  The
         snapshot merges across shards via :meth:`UnitFallback.merge`.
         """
         plan = faults.active_plan()
         observations = UnitFallback(self._fallback.max_grams)
         estimates: dict[str, IngredientEstimate] = {}
-        for i, (text, count) in enumerate(texts_with_counts):
+        items = (
+            texts_with_counts
+            if isinstance(texts_with_counts, list)
+            else list(texts_with_counts)
+        )
+        outcomes = None
+        if columnar:
+            outcomes = self.columnar.estimate_lines(
+                [text for text, _ in items], consult_fallback=False
+            )
+        for i, (text, count) in enumerate(items):
             try:
-                if plan is not None:
-                    plan.poison(text)
-                estimate = self._estimate_line(text, consult_fallback=False)
+                if outcomes is not None:
+                    estimate = outcomes[i].unwrap()
+                else:
+                    if plan is not None:
+                        plan.poison(text)
+                    estimate = self._estimate_line(
+                        text, consult_fallback=False
+                    )
             except Exception as exc:
                 if quarantine is None:
                     raise
@@ -522,6 +600,7 @@ class NutritionEstimator:
         *,
         quarantine: DeadLetterLog | None = None,
         ordinals: dict[str, int] | None = None,
+        columnar: bool = False,
     ) -> dict[str, IngredientEstimate]:
         """Corpus pass 2 for the unit-unresolved lines (shardable).
 
@@ -539,13 +618,22 @@ class NutritionEstimator:
         """
         plan = faults.active_plan()
         estimates: dict[str, IngredientEstimate] = {}
-        for text in texts:
+        items = texts if isinstance(texts, list) else list(texts)
+        outcomes = None
+        if columnar:
+            outcomes = self.columnar.estimate_lines(
+                items, consult_fallback=True
+            )
+        for i, text in enumerate(items):
             try:
-                if plan is not None:
-                    plan.poison(text)
-                estimates[text] = self._estimate_line(
-                    text, consult_fallback=True
-                )
+                if outcomes is not None:
+                    estimates[text] = outcomes[i].unwrap()
+                else:
+                    if plan is not None:
+                        plan.poison(text)
+                    estimates[text] = self._estimate_line(
+                        text, consult_fallback=True
+                    )
             except Exception as exc:
                 if quarantine is None:
                     raise
@@ -563,6 +651,7 @@ class NutritionEstimator:
         counts: dict[str, int],
         *,
         quarantine: DeadLetterLog | None = None,
+        columnar: bool = False,
     ) -> dict[str, IngredientEstimate]:
         """The full two-phase protocol over a distinct-line table.
 
@@ -577,7 +666,7 @@ class NutritionEstimator:
         :meth:`corpus_collect_estimates`).
         """
         estimates, observations = self.corpus_collect_estimates(
-            counts.items(), quarantine=quarantine
+            counts.items(), quarantine=quarantine, columnar=columnar
         )
         self._fallback.clear()
         self._fallback.merge(observations)
@@ -591,7 +680,10 @@ class NutritionEstimator:
             ordinals = {text: i for i, text in enumerate(counts)}
         estimates.update(
             self.corpus_fallback_estimates(
-                pending, quarantine=quarantine, ordinals=ordinals
+                pending,
+                quarantine=quarantine,
+                ordinals=ordinals,
+                columnar=columnar,
             )
         )
         return estimates

@@ -48,9 +48,13 @@ Each rule is ``action@site:selector[:arg]``:
     and re-execute its chunk.
 
 Sites wired in: ``collect-chunk`` / ``fallback-chunk`` (pool worker,
-selector = chunk task id), ``estimate-line`` (per-line estimation,
-selector = substring of the line), ``ingest-line`` (JSONL read,
-selector = 1-based line number), ``service-estimate`` (the HTTP
+selector = chunk task id), ``shm-attach`` (pool worker bootstrap,
+fired immediately before the worker attaches to the shared artifact
+segment, selector = worker id — ``crash@shm-attach:0`` kills worker 0
+at the worst possible moment of its boot; the respawned replacement
+gets a fresh id and boots clean), ``estimate-line`` (per-line
+estimation, selector = substring of the line), ``ingest-line`` (JSONL
+read, selector = 1-based line number), ``service-estimate`` (the HTTP
 service's estimation path, selector ``*``), ``journal-append`` (the
 durable-run chunk journal, selector = 0-based frame index — this one
 kills the coordinating driver process itself, not a worker).

@@ -14,8 +14,9 @@ from collections import defaultdict
 import numpy as np
 
 from repro.ner.corpus import TAGS, TaggedPhrase
-from repro.ner.features import extract_features
-from repro.ner.viterbi import viterbi_decode
+from repro.ner.features import extract_features, token_features, word_shape
+from repro.ner.viterbi import viterbi_decode, viterbi_decode_batch
+from repro.utils import DEFAULT_CACHE_CAP, BoundedCache
 
 
 class AveragedPerceptronTagger:
@@ -35,6 +36,15 @@ class AveragedPerceptronTagger:
         # while training (the dict is the live, evolving store).
         self._feature_ids: dict[str, int] | None = None
         self._weight_matrix: np.ndarray | None = None
+        # Window memo for predict_batch: the features of a position
+        # are a pure function of the 5-token window around it (None
+        # marks out-of-range neighbours, which encodes BOS/EOS and the
+        # w±2 presence flags exactly), so the interned feature ids of
+        # a recurring window are computed once.  Rebuilt whenever the
+        # interned view is (see _intern_weights).
+        self._window_ids: dict[tuple, list[int]] = BoundedCache(
+            DEFAULT_CACHE_CAP
+        )
 
     @property
     def tags(self) -> tuple[str, ...]:
@@ -173,6 +183,7 @@ class AveragedPerceptronTagger:
             matrix[feature_ids[feat], tag] = weight
         self._feature_ids = feature_ids
         self._weight_matrix = matrix
+        self._window_ids = BoundedCache(DEFAULT_CACHE_CAP)
 
     def _emissions(self, feats: list[list[str]]) -> np.ndarray:
         """Emission scores, (T, K).
@@ -222,6 +233,100 @@ class AveragedPerceptronTagger:
             return []
         feats = extract_features(tokens)
         return [self._tags[i] for i in self._decode_indices(feats)]
+
+    def predict_batch(
+        self, token_seqs: list[list[str]]
+    ) -> list[list[str]]:
+        """Tag many token sequences with one chunk-wide emission pass.
+
+        Extends the :meth:`_emissions` matrix pattern across a whole
+        chunk: every token of every sequence contributes its interned
+        feature rows to one flat gather, and ``np.add.reduceat`` sums
+        each token's contiguous row block in a single call.  reduceat
+        reduces axis 0 of each block sequentially exactly like
+        ``matrix[ids].sum(axis=0)``, so per-line emissions — and the
+        per-line Viterbi decodes over them — are bit-identical to
+        :meth:`predict`.  Viterbi itself stays per sequence (it is a
+        sequential recurrence); only the emission gather is batched.
+        """
+        matrix = self._weight_matrix
+        if matrix is None:
+            return [self.predict(tokens) for tokens in token_seqs]
+        feature_ids = self._feature_ids
+        window_ids = self._window_ids
+        K = len(self._tags)
+
+        # Interned feature ids per token, memoized on the 5-token
+        # window (None-padded — the padding encodes BOS/EOS and the
+        # w±2 presence exactly, see token_features).
+        ids_per_seq: list[list[list[int]]] = []
+        flat_ids: list[int] = []
+        ids_per_token: list[int] = []  # interned-feature count per token
+        for tokens in token_seqs:
+            toks = list(tokens)
+            n = len(toks)
+            seq_ids: list[list[int]] = []
+            shapes: list[str] | None = None
+            for i in range(n):
+                key = (
+                    toks[i - 2] if i >= 2 else None,
+                    toks[i - 1] if i >= 1 else None,
+                    toks[i],
+                    toks[i + 1] if i + 1 < n else None,
+                    toks[i + 2] if i + 2 < n else None,
+                )
+                ids = window_ids.get(key)
+                if ids is None:
+                    if shapes is None:
+                        shapes = [word_shape(t) for t in toks]
+                    ids = [
+                        fid
+                        for f in token_features(toks, i, shapes)
+                        if (fid := feature_ids.get(f)) is not None
+                    ]
+                    window_ids[key] = ids
+                seq_ids.append(ids)
+                flat_ids.extend(ids)
+                ids_per_token.append(len(ids))
+            ids_per_seq.append(seq_ids)
+
+        em_all = np.zeros((len(ids_per_token), K))
+        if flat_ids:
+            rows = matrix[np.asarray(flat_ids, dtype=np.intp)]
+            counts = np.asarray(ids_per_token, dtype=np.int64)
+            # Tokens with no known features keep their zero rows; the
+            # remaining blocks are contiguous in *rows*, and reduceat
+            # is pointed only at their start offsets (reduceat treats
+            # an empty segment as "take the element at the index",
+            # which would be wrong — so empty segments never reach it).
+            starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+            nonempty = np.nonzero(counts)[0]
+            em_all[nonempty] = np.add.reduceat(
+                rows, starts[nonempty], axis=0
+            )
+
+        # Viterbi in length buckets: phrases of equal length decode in
+        # one lockstep batch (bit-identical per phrase — see
+        # viterbi_decode_batch).
+        out: list[list[str] | None] = [None] * len(token_seqs)
+        seq_slices: list = []
+        offset = 0
+        buckets: dict[int, list[int]] = {}
+        for idx, seq_ids in enumerate(ids_per_seq):
+            n = len(seq_ids)
+            seq_slices.append(em_all[offset:offset + n])
+            offset += n
+            if n == 0:
+                out[idx] = []
+            else:
+                buckets.setdefault(n, []).append(idx)
+        tags = self._tags
+        for members in buckets.values():
+            em = np.stack([seq_slices[idx] for idx in members])
+            paths = viterbi_decode_batch(em, self._transitions, self._start)
+            for idx, path in zip(members, paths):
+                out[idx] = [tags[k] for k in path]
+        return out
 
     def tag_phrase(self, tokens: list[str] | tuple[str, ...]) -> TaggedPhrase:
         """Tag tokens and wrap in a :class:`TaggedPhrase`."""

@@ -28,6 +28,7 @@ from repro.ner.features import (
     TEMP_WORDS,
     UNIT_WORDS,
 )
+from repro.utils import DEFAULT_CACHE_CAP, BoundedCache
 
 _NUM_RE = re.compile(r"^\d+(\.\d+)?$|^\d+/\d+$")
 
@@ -47,30 +48,62 @@ _INSTRUCTION_WORDS: frozenset[str] = frozenset(
 class RuleBasedTagger:
     """Context-light rule tagger over the paper's tag set."""
 
+    def __init__(self) -> None:
+        # token -> context-free base tag, filled by predict_batch only.
+        # _classify is a pure function of the token string, so the memo
+        # cannot change outcomes; it is bounded to keep long-lived
+        # processes from growing without limit.
+        self._base_cache: dict[str, str] = BoundedCache(DEFAULT_CACHE_CAP)
+
+    def _classify(self, token: str) -> str:
+        """Context-free tag for one token (rules 1-7, pre-repair)."""
+        lower = token.lower()
+        if _NUM_RE.match(token):
+            return "QUANTITY"
+        if not any(c.isalnum() for c in token):
+            return "O"
+        if lower in UNIT_WORDS:
+            return "UNIT"
+        if lower in SIZE_WORDS:
+            return "SIZE"
+        if lower in TEMP_WORDS:
+            return "TEMP"
+        if lower in DF_WORDS:
+            return "DF"
+        if lower in STATE_WORDS or self._hyphen_state(lower):
+            return "STATE"
+        if lower in _INSTRUCTION_WORDS:
+            return "O"
+        return "NAME"
+
     def predict(self, tokens: list[str] | tuple[str, ...]) -> list[str]:
         """Tag a token sequence with deterministic rules."""
-        tags: list[str] = []
-        for i, token in enumerate(tokens):
-            lower = token.lower()
-            if _NUM_RE.match(token):
-                tags.append("QUANTITY")
-            elif not any(c.isalnum() for c in token):
-                tags.append("O")
-            elif lower in UNIT_WORDS:
-                tags.append("UNIT")
-            elif lower in SIZE_WORDS:
-                tags.append("SIZE")
-            elif lower in TEMP_WORDS:
-                tags.append("TEMP")
-            elif lower in DF_WORDS:
-                tags.append("DF")
-            elif lower in STATE_WORDS or self._hyphen_state(lower):
-                tags.append("STATE")
-            elif lower in _INSTRUCTION_WORDS:
-                tags.append("O")
-            else:
-                tags.append("NAME")
+        tags = [self._classify(token) for token in tokens]
         return self._repair(list(tokens), tags)
+
+    def predict_batch(
+        self, token_seqs: list[list[str]]
+    ) -> list[list[str]]:
+        """Tag many token sequences, memoizing the per-token rules.
+
+        The columnar chunk pipeline's entry point: base tags are a
+        pure per-token function, so a chunk that repeats vocabulary
+        ("cup", "chopped", ",") classifies each distinct token once.
+        The contextual :meth:`_repair` pass still runs per sequence.
+        Bit-identical to mapping :meth:`predict` over the sequences.
+        """
+        cache = self._base_cache
+        out: list[list[str]] = []
+        for tokens in token_seqs:
+            tags: list[str] = []
+            for token in tokens:
+                tag = cache.get(token)
+                if tag is None:
+                    tag = self._classify(token)
+                    cache[token] = tag
+                tags.append(tag)
+            out.append(self._repair(list(tokens), tags))
+        return out
 
     def _hyphen_state(self, lower: str) -> bool:
         """hard-cooked, oven-roasted … any hyphenated participle."""

@@ -52,3 +52,51 @@ def viterbi_decode(
         path.append(int(backpointers[t, path[-1]]))
     path.reverse()
     return path
+
+
+def viterbi_decode_batch(
+    emissions: np.ndarray,
+    transitions: np.ndarray,
+    start: np.ndarray,
+) -> list[list[int]]:
+    """Decode a batch of equal-length sequences in lockstep.
+
+    *emissions* has shape (N, T, K): N sequences of the same length T.
+    Returns N tag-index paths.  Every step performs the same float64
+    additions and first-occurrence argmax the per-sequence
+    :func:`viterbi_decode` performs — elementwise ops broadcast per
+    sequence, nothing is reduced across sequences — so each returned
+    path is bit-identical to ``viterbi_decode(emissions[n], ...)``.
+    Used by the columnar chunk pipeline, which buckets a chunk's
+    phrases by length and decodes each bucket in one call.
+    """
+    N, T, K = emissions.shape
+    if T == 0:
+        return [[] for _ in range(N)]
+    if transitions.shape != (K, K):
+        raise ValueError(f"transitions shape {transitions.shape} != ({K}, {K})")
+    if start.shape != (K,):
+        raise ValueError(f"start shape {start.shape} != ({K},)")
+
+    delta = start + emissions[:, 0]  # (N, K)
+    backpointers = np.zeros((N, T, K), dtype=np.int64)
+    for t in range(1, T):
+        # scores[n, i, j] = delta[n, i] + transitions[i, j]
+        scores = delta[:, :, None] + transitions
+        bp = scores.argmax(axis=1)  # (N, K)
+        backpointers[:, t] = bp
+        delta = (
+            np.take_along_axis(scores, bp[:, None, :], axis=1)[:, 0, :]
+            + emissions[:, t]
+        )
+
+    last = delta.argmax(axis=1)
+    paths: list[list[int]] = []
+    for n in range(N):
+        path = [int(last[n])]
+        pointers = backpointers[n]
+        for t in range(T - 1, 0, -1):
+            path.append(int(pointers[t, path[-1]]))
+        path.reverse()
+        paths.append(path)
+    return paths

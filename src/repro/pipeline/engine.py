@@ -52,12 +52,35 @@ resumes to bit-identical output (``tests/test_durable_resume.py``).
 Memory is bounded by the distinct-line working set: recipes are
 streamed (see :func:`repro.recipedb.corpus.iter_recipes_jsonl`), and
 each worker holds at most one chunk at a time.
+
+**Columnar hot path** (ISSUE 9): workers (and the ``workers=1``
+in-process path) drive each chunk through the batched pipeline
+(:mod:`repro.core.columnar`) — chunk-wide tokenize/tag/match stages
+feeding the unmodified per-line tail — which is bit-identical to the
+per-line reference by construction and pinned differentially by
+``tests/test_columnar_parity.py``.  ``REPRO_COLUMNAR=0`` forces the
+per-line path everywhere (the escape hatch the differential harness
+and benchmarks flip).
+
+**Persistent pool** (ISSUE 9): the supervised pool outlives a single
+run.  The first pool run spawns it (workers boot from a shared-memory
+artifact segment, :mod:`repro.pipeline.shm`); later runs on the same
+engine reuse the warm workers — the HTTP service keeps one engine, so
+``/v1/estimate_batch`` requests skip process spawn and estimator
+rebuild entirely.  Phase-3 tasks carry a per-run ``stats_token`` so a
+reused worker can never serve a previous run's merged unit table.
+Call :meth:`ShardedCorpusEstimator.close` (or use the engine as a
+context manager) to release the pool; a finalizer covers engines that
+are simply dropped, and a failed run closes the pool rather than
+reuse workers in an unknown state.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import os
 import time
+import weakref
 from collections import Counter
 from collections.abc import Iterator, Sequence
 from dataclasses import dataclass, field
@@ -94,6 +117,16 @@ DEFAULT_CHUNK_DEADLINE_S = 120.0
 
 #: Default re-dispatches allowed per lost chunk.
 DEFAULT_MAX_CHUNK_RETRIES = 2
+
+
+def _columnar_enabled() -> bool:
+    """Whether chunks run the columnar batch pipeline (default: yes).
+
+    ``REPRO_COLUMNAR=0`` pins the per-line reference path — the
+    differential harness and benchmarks use it to hold the oracle
+    side still while the columnar side evolves.
+    """
+    return os.environ.get("REPRO_COLUMNAR", "1") != "0"
 
 
 @dataclass
@@ -142,16 +175,16 @@ class RunReport:
 def _collect_task(state: WorkerState, payload, task_id: int, attempt: int):
     """Phase-1 task: wire estimates + observation snapshot for a chunk.
 
-    ``payload`` is ``(base_ordinal, chunk, quarantine_on)``.  Returns
-    ``(wire, snapshot, dead_letter_records)``.
+    ``payload`` is ``(base_ordinal, chunk, quarantine_on, columnar)``.
+    Returns ``(wire, snapshot, dead_letter_records)``.
     """
-    base_ordinal, chunk, quarantine_on = payload
+    base_ordinal, chunk, quarantine_on, columnar = payload
     plan = faults.active_plan()
     if plan is not None:
         plan.fire("collect-chunk", task_id, attempt)
     log = DeadLetterLog() if quarantine_on else None
     estimates, snapshot = state.estimator.corpus_collect_estimates(
-        chunk, quarantine=log, ordinal_base=base_ordinal
+        chunk, quarantine=log, ordinal_base=base_ordinal, columnar=columnar
     )
     wire = dumps_estimates(
         [estimates[text] for text, _ in chunk], state.estimator.database
@@ -162,30 +195,34 @@ def _collect_task(state: WorkerState, payload, task_id: int, attempt: int):
 def _fallback_task(state: WorkerState, payload, task_id: int, attempt: int):
     """Phase-3 task: re-estimate texts against the merged statistics.
 
-    ``payload`` is ``(snapshot, items, quarantine_on)`` with ``items``
-    a list of ``(ordinal, text)``.  The merged snapshot rides along
-    with each task and a worker installs it once — which is also what
-    makes a worker respawned mid-phase-3 correct: its fresh
-    :class:`WorkerState` installs the snapshot from its next task.
+    ``payload`` is ``(stats_token, snapshot, items, quarantine_on,
+    columnar)`` with ``items`` a list of ``(ordinal, text)``.  The
+    merged snapshot rides along with each task and a worker installs
+    it once per *token* — a fresh serial per engine run — which makes
+    two failure shapes correct at once: a worker respawned
+    mid-phase-3 (``stats_token`` reset to 0) installs the snapshot
+    from its next task, and a **persistent pool reused across runs**
+    sees a new token and can never serve the previous run's table.
     Returns ``(present_indices, wire, dead_letter_records)`` where
     ``present_indices`` are the positions in *items* that produced an
     estimate (a line quarantined here keeps its phase-1 estimate).
     """
-    snapshot, items, quarantine_on = payload
+    stats_token, snapshot, items, quarantine_on, columnar = payload
     plan = faults.active_plan()
     if plan is not None:
         plan.fire("fallback-chunk", task_id, attempt)
-    if not state.stats_installed:
+    if state.stats_token != stats_token:
         fallback = state.estimator.fallback
         fallback.clear()
         fallback.merge(snapshot)
-        state.stats_installed = True
+        state.stats_token = stats_token
     log = DeadLetterLog() if quarantine_on else None
     texts = [text for _, text in items]
     estimates = state.estimator.corpus_fallback_estimates(
         texts,
         quarantine=log,
         ordinals={text: ordinal for ordinal, text in items},
+        columnar=columnar,
     )
     present = [i for i, text in enumerate(texts) if text in estimates]
     wire = dumps_estimates(
@@ -254,6 +291,19 @@ class ShardedCorpusEstimator:
         :class:`~repro.runs.errors.RunMismatchError` on drift),
         truncate any torn journal tail, replay journaled chunks and
         execute only the missing ones.
+    force_pool:
+        Route even ``workers=1`` non-durable runs through the
+        supervised pool instead of the in-process shortcut.  The
+        worker-scaling benchmarks use this so every point of a worker
+        series measures the same pool machinery (spawn, IPC, shm
+        bootstrap) rather than comparing a pool against a loop.
+    estimator_supplier:
+        Zero-arg callable returning an already-built estimator
+        equivalent to ``spec.build()``, used only to capture the
+        shared-memory bootstrap payload at pool spawn.  The HTTP
+        service passes its warm estimator so the pool bootstrap does
+        not build a second one; default is the engine's own lazily
+        built in-process estimator.
     """
 
     def __init__(
@@ -268,6 +318,8 @@ class ShardedCorpusEstimator:
         max_chunk_retries: int = DEFAULT_MAX_CHUNK_RETRIES,
         run_dir: str | Path | None = None,
         resume: bool = False,
+        force_pool: bool = False,
+        estimator_supplier=None,
     ):
         if workers is not None and workers < 1:
             raise ValueError(f"workers must be >= 1: {workers}")
@@ -285,16 +337,23 @@ class ShardedCorpusEstimator:
         if workers is not None:
             self._workers = workers
         else:
-            import os
-
             self._workers = os.cpu_count() or 1
         self._chunk_size = chunk_size
         self._quarantine = quarantine
         self._chunk_deadline_s = chunk_deadline_s
         self._max_chunk_retries = max_chunk_retries
+        self._force_pool = force_pool
+        self._estimator_supplier = estimator_supplier
         self._local: NutritionEstimator | None = None
         self._foods = None
         self._pinned_fingerprint: str | None = None
+        #: Persistent supervised pool: spawned on the first pool run,
+        #: reused by later runs until :meth:`close`.
+        self._pool: SupervisedWorkerPool | None = None
+        self._pool_finalizer: weakref.finalize | None = None
+        #: Serial for phase-3 merged-table installs (see
+        #: :func:`_fallback_task`); monotonically increasing per run.
+        self._stats_serial = 0
         #: Supervision counters and dead letters for the most recent
         #: corpus run (None until a run happens).  Refreshed at the
         #: start of every run; read it before starting the next one.
@@ -323,6 +382,57 @@ class ShardedCorpusEstimator:
         if self._local is None:
             self._local = self._spec.build()
         return self._local
+
+    # ------------------------------------------------------------------
+    # persistent pool lifecycle
+
+    def ensure_pool(self) -> None:
+        """Spawn the persistent worker pool now (idempotent).
+
+        Lets services and benchmarks pay the spawn + shared-memory
+        bootstrap cost up front instead of inside the first request or
+        timed region.  Only useful for engines that actually route
+        through the pool (``workers > 1`` or ``force_pool=True``).
+        """
+        self._ensure_pool()
+
+    def _ensure_pool(self) -> SupervisedWorkerPool:
+        if self._pool is None:
+            pool = SupervisedWorkerPool(
+                self._worker_spec(),
+                _HANDLERS,
+                self._workers,
+                deadline_s=self._chunk_deadline_s,
+                max_retries=self._max_chunk_retries,
+                estimator_supplier=(
+                    self._estimator_supplier or self._local_estimator
+                ),
+            )
+            self._pool = pool
+            # Safety net for engines dropped without close(): the
+            # callback holds the pool, never the engine, so the
+            # finalizer cannot keep the engine alive.
+            self._pool_finalizer = weakref.finalize(self, pool.close)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the persistent pool and its shared segment.
+
+        Idempotent; the engine remains usable (the next pool run
+        simply spawns a fresh pool).
+        """
+        pool, self._pool = self._pool, None
+        finalizer, self._pool_finalizer = self._pool_finalizer, None
+        if finalizer is not None:
+            finalizer.detach()
+        if pool is not None:
+            pool.close()
+
+    def __enter__(self) -> "ShardedCorpusEstimator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def _food_list(self):
         if self._foods is None:
@@ -515,7 +625,7 @@ class ShardedCorpusEstimator:
         report: RunReport,
         run: DurableRun | None = None,
     ) -> dict[str, IngredientEstimate]:
-        if run is None and self._workers == 1:
+        if run is None and self._workers == 1 and not self._force_pool:
             return self._run_local(counts, report)
         # A durable run always takes the chunked pool path, even at
         # workers=1: journaling and replay are defined over the chunk
@@ -527,7 +637,7 @@ class ShardedCorpusEstimator:
     ) -> dict[str, IngredientEstimate]:
         log = report.dead_letters if self._quarantine else None
         return self._local_estimator().corpus_estimate_table(
-            counts, quarantine=log
+            counts, quarantine=log, columnar=_columnar_enabled()
         )
 
     def _worker_spec(self) -> EstimatorSpec:
@@ -567,6 +677,7 @@ class ShardedCorpusEstimator:
         estimates: dict[str, IngredientEstimate] = {}
         chunks = list(_chunked(counts.items(), self._chunk_size))
         quarantine_on = self._quarantine
+        columnar = _columnar_enabled()
         if run is not None:
             run.begin(
                 n_chunks=len(chunks),
@@ -580,21 +691,24 @@ class ShardedCorpusEstimator:
                 )
             return estimates
 
-        # The pool is created lazily: a resume whose journal already
+        # The pool is acquired lazily: a resume whose journal already
         # covers every chunk is pure replay and spawns no workers.
-        pool: SupervisedWorkerPool | None = None
+        # The pool itself is persistent (spawned once per engine,
+        # reused run-to-run), so supervision counters are reported as
+        # deltas against a baseline captured at first acquisition.
+        used_pool: SupervisedWorkerPool | None = None
+        baseline = (0, 0, 0, 0)
 
         def ensure_pool() -> SupervisedWorkerPool:
-            nonlocal pool
-            if pool is None:
-                pool = SupervisedWorkerPool(
-                    self._worker_spec(),
-                    _HANDLERS,
-                    self._workers,
-                    deadline_s=self._chunk_deadline_s,
-                    max_retries=self._max_chunk_retries,
+            nonlocal used_pool, baseline
+            acquired = self._ensure_pool()
+            if used_pool is None:
+                used_pool = acquired
+                stats = acquired.stats
+                baseline = (
+                    stats.retries, stats.respawns, stats.crashes, stats.hung
                 )
-            return pool
+            return acquired
 
         def replay_decode(wire, expected: int, what: str, index: int):
             decoded = loads_estimates(wire, foods)
@@ -618,7 +732,7 @@ class ShardedCorpusEstimator:
             replay = run.collect if run is not None else {}
             missing = [i for i in range(len(chunks)) if i not in replay]
             payloads = [
-                (i * self._chunk_size, chunks[i], quarantine_on)
+                (i * self._chunk_size, chunks[i], quarantine_on, columnar)
                 for i in missing
             ]
             executed = (
@@ -673,8 +787,13 @@ class ShardedCorpusEstimator:
             fb_missing = [
                 i for i in range(len(fallback_chunks)) if i not in fb_replay
             ]
+            self._stats_serial += 1
+            stats_token = self._stats_serial
             payloads = [
-                (snapshot, fallback_chunks[i], quarantine_on)
+                (
+                    stats_token, snapshot, fallback_chunks[i],
+                    quarantine_on, columnar,
+                )
                 for i in fb_missing
             ]
             executed = (
@@ -706,14 +825,19 @@ class ShardedCorpusEstimator:
                 report.dead_letters.extend(list(letters))
                 for p, estimate in zip(present, decoded):
                     estimates[items[p][1]] = estimate
+        except BaseException:
+            # A failed run leaves workers in an unknown state (mid-
+            # chunk, half-installed table); close the pool so the next
+            # run starts from fresh workers instead of reusing them.
+            self.close()
+            raise
         finally:
-            if pool is not None:
-                stats = pool.stats
-                pool.close()
-                report.retries = stats.retries
-                report.respawns = stats.respawns
-                report.worker_crashes = stats.crashes
-                report.hung_workers = stats.hung
+            if used_pool is not None:
+                stats = used_pool.stats
+                report.retries = stats.retries - baseline[0]
+                report.respawns = stats.respawns - baseline[1]
+                report.worker_crashes = stats.crashes - baseline[2]
+                report.hung_workers = stats.hung - baseline[3]
         if run is not None and not run.complete:
             run.record_complete(
                 {**report.counters(), **report.journal_counters()}

@@ -1,0 +1,317 @@
+"""Shared-memory artifact handoff for pool workers.
+
+The original worker bootstrap pickled an :class:`EstimatorSpec` into
+every worker, which re-serialized the food database and (for trained
+taggers) full weight matrices once per process.  This module replaces
+that with a **publish once, attach many** handoff:
+
+1. The coordinator packs the complete artifact image — the exact
+   header + checksum + payload byte layout of an artifact *file*
+   (:func:`repro.artifacts.format.pack_artifact_blob`) — into one
+   named ``multiprocessing.shared_memory`` segment (``repro-art-*``).
+2. Each worker opens the segment read-only by name, validates magic →
+   version → length → checksum → schema → database fingerprint, and
+   builds its estimator from the validated payload.  A worker can
+   therefore never boot from a torn or swapped image: the same typed
+   errors a corrupt artifact *file* raises
+   (:class:`~repro.artifacts.errors.ArtifactCorruptError`,
+   :class:`~repro.artifacts.errors.ArtifactMismatchError`) surface
+   through the pool's ``init_error`` channel.
+3. The coordinator owns the segment's lifetime: it is created once
+   per pool, survives worker crash/respawn cycles (respawned workers
+   re-attach to the same name), and is unlinked exactly once in
+   ``pool.close()`` — idempotently, so double-close and
+   already-removed segments are no-ops.  Coordinators that die
+   *uncleanly* (``kill -9``, OOM, injected ``os._exit``) can't unlink;
+   :func:`sweep_stale_segments` reclaims their segments — identified
+   by the dead creator pid embedded in the name — at the next pool
+   start on the same host.
+
+**Fork only.**  Under the ``fork`` start method every child inherits
+the parent's resource-tracker connection, so attach-side registrations
+dedup against the creator's and nothing unlinks the segment early.
+Under ``spawn`` each child starts its *own* tracker, which would
+unlink the segment when the first worker exits; for non-fork contexts
+:func:`make_bootstrap` falls back to the classic pickled-spec
+bootstrap, which is slower but start-method agnostic.  Estimators
+whose tagger cannot be captured into an artifact payload fall back
+the same way.
+
+Fault injection: workers honour ``crash@shm-attach:<worker_id>``
+(:mod:`repro.faults`) immediately before attaching, so the harness can
+prove a worker killed at the worst moment — segment published, not
+yet mapped — respawns, re-attaches and leaves no segment behind.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import secrets
+from multiprocessing import shared_memory
+from typing import Callable
+
+from repro import faults
+from repro.artifacts.errors import ArtifactMismatchError
+from repro.artifacts.format import pack_artifact_blob, parse_artifact_blob
+from repro.artifacts.store import (
+    ArtifactSnapshot,
+    _validate_schema,
+    capture_payload,
+    database_fingerprint,
+)
+from repro.core.estimator import NutritionEstimator
+from repro.pipeline.spec import EstimatorSpec
+
+#: Prefix of every segment this module creates; the lifecycle tests
+#: scan ``/dev/shm`` for it to prove nothing leaks.
+SEGMENT_PREFIX = "repro-art-"
+
+#: Where POSIX shared memory appears as files on Linux.  The stale
+#: sweep is skipped entirely on hosts without it.
+_SHM_DIR = "/dev/shm"
+
+
+def sweep_stale_segments() -> list[str]:
+    """Unlink ``repro-art-*`` segments whose creator process is dead.
+
+    A coordinator that dies *uncleanly* — ``kill -9``, OOM, or the
+    fault harness's ``os._exit(70)`` — never reaches ``unlink()``, and
+    its orphaned pool workers keep the inherited resource tracker
+    alive indefinitely, so the tracker's leaked-resource cleanup never
+    runs either.  Segment names embed the creator pid
+    (``repro-art-<pid>-<hex>``), so the next pool start can reclaim
+    exactly the segments whose creator no longer exists.  Segments
+    with a live creator — other pools on the same host — are never
+    touched; pid-reuse can only make the sweep skip a stale segment,
+    never remove a live one.  Returns the names it removed.
+    """
+    try:
+        names = os.listdir(_SHM_DIR)
+    except OSError:
+        return []
+    removed: list[str] = []
+    for name in names:
+        if not name.startswith(SEGMENT_PREFIX):
+            continue
+        pid_text = name[len(SEGMENT_PREFIX):].split("-", 1)[0]
+        if not pid_text.isdigit():
+            continue
+        try:
+            os.kill(int(pid_text), 0)
+        except ProcessLookupError:
+            try:
+                os.unlink(os.path.join(_SHM_DIR, name))
+                removed.append(name)
+            except OSError:
+                pass
+        except OSError:
+            # Alive but owned by another user (EPERM) or pid 0-ish
+            # weirdness: leave it alone.
+            continue
+    return removed
+
+
+class SharedArtifactSegment:
+    """A named shared-memory segment holding one artifact image.
+
+    Owned by the pool coordinator.  ``unlink()`` is idempotent and
+    tolerates a segment that something else already removed, so it is
+    safe to call from ``close()``, ``finally`` blocks and finalizers
+    alike.
+    """
+
+    __slots__ = ("_shm", "size", "_closed")
+
+    def __init__(self, shm: shared_memory.SharedMemory, size: int):
+        self._shm = shm
+        self.size = size
+        self._closed = False
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    @classmethod
+    def create(cls, blob: bytes) -> "SharedArtifactSegment":
+        """Publish *blob* under a fresh ``repro-art-*`` name.
+
+        Also sweeps segments abandoned by dead coordinators first, so
+        crash→restart cycles keep ``/dev/shm`` bounded.
+        """
+        sweep_stale_segments()
+        while True:
+            name = f"{SEGMENT_PREFIX}{os.getpid()}-{secrets.token_hex(4)}"
+            try:
+                shm = shared_memory.SharedMemory(
+                    name=name, create=True, size=len(blob)
+                )
+                break
+            except FileExistsError:
+                continue
+        shm.buf[: len(blob)] = blob
+        return cls(shm, len(blob))
+
+    def unlink(self) -> None:
+        """Close the mapping and remove the segment (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._shm.close()
+        except OSError:
+            pass
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:
+            pass
+
+
+class SpecBootstrap:
+    """Classic bootstrap: each worker runs ``spec.build()`` itself.
+
+    Used when shared memory is unavailable (non-fork start method) or
+    the estimator cannot be captured into an artifact payload.
+    """
+
+    __slots__ = ("spec",)
+
+    def __init__(self, spec: EstimatorSpec):
+        self.spec = spec
+
+    def build(self, worker_id: int) -> NutritionEstimator:
+        return self.spec.build()
+
+
+class SharedArtifactBootstrap:
+    """Worker-side recipe: attach, validate, build.
+
+    Carries only scalars and the spec's construction knobs — the heavy
+    state travels through the segment.  The attach copies the image
+    out of the mapping and closes it immediately, so a worker never
+    holds the segment open past its own boot.
+    """
+
+    __slots__ = (
+        "name",
+        "size",
+        "expected_fingerprint",
+        "matcher_config",
+        "max_grams",
+        "cache_cap",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        size: int,
+        expected_fingerprint: str | None,
+        matcher_config,
+        max_grams: float,
+        cache_cap: int,
+    ):
+        self.name = name
+        self.size = size
+        self.expected_fingerprint = expected_fingerprint
+        self.matcher_config = matcher_config
+        self.max_grams = max_grams
+        self.cache_cap = cache_cap
+
+    def build(self, worker_id: int) -> NutritionEstimator:
+        plan = faults.active_plan()
+        if plan is not None:
+            plan.fire("shm-attach", worker_id)
+        shm = shared_memory.SharedMemory(name=self.name)
+        try:
+            blob = bytes(shm.buf[: self.size])
+        finally:
+            shm.close()
+
+        source = f"shm:{self.name}"
+        payload = parse_artifact_blob(blob, source=source)
+        _validate_schema(source, payload)
+        snapshot = ArtifactSnapshot(source, payload)
+        expected = self.expected_fingerprint
+        if expected is not None and expected != snapshot.fingerprint:
+            raise ArtifactMismatchError(
+                f"{source}: segment holds an artifact built against a "
+                f"different database (fingerprint "
+                f"{snapshot.fingerprint[:12]}…, worker expects "
+                f"{expected[:12]}…)"
+            )
+        return snapshot.build_estimator(
+            matcher_config=self.matcher_config,
+            max_grams=self.max_grams,
+            cache_cap=self.cache_cap,
+        )
+
+
+def _start_method(ctx) -> str:
+    """The start method a multiprocessing context will use."""
+    name = getattr(ctx, "_name", None)
+    if name:
+        return name
+    get = getattr(ctx, "get_start_method", None)
+    if get is not None:
+        return get()
+    return mp.get_start_method()
+
+
+def make_bootstrap(
+    spec: EstimatorSpec,
+    estimator_supplier: Callable[[], NutritionEstimator] | None = None,
+    ctx=None,
+) -> tuple[object, SharedArtifactSegment | None]:
+    """Pick the best worker bootstrap for *spec* under *ctx*.
+
+    Returns ``(bootstrap, segment)``.  When the shared-memory path is
+    viable the returned segment is live and the caller owns its
+    ``unlink()``; otherwise the segment is ``None`` and the bootstrap
+    is a :class:`SpecBootstrap`.
+
+    The artifact image comes from the spec's artifact *file* when one
+    is pinned (raw bytes, no re-serialization) or from capturing a
+    locally built estimator (via *estimator_supplier* when the caller
+    already has one to share).  Any failure to produce a valid image —
+    unreadable file, uncapturable tagger — falls back to the pickled
+    spec so the worker raises the same typed error the classic path
+    would, through the same ``init_error`` channel.
+    """
+    if _start_method(ctx or mp.get_context()) != "fork":
+        return SpecBootstrap(spec), None
+
+    try:
+        if spec.artifact_path is not None and spec.tagger is None:
+            with open(spec.artifact_path, "rb") as handle:
+                blob = handle.read()
+            # Validate in-process first: a corrupt file must surface
+            # through the worker init_error channel (via SpecBootstrap),
+            # not as a poisoned segment.
+            parse_artifact_blob(blob, source=str(spec.artifact_path))
+            expected = spec.expected_fingerprint
+            if expected is None and spec.foods is not None:
+                expected = database_fingerprint(spec.foods)
+        else:
+            estimator = (
+                estimator_supplier() if estimator_supplier is not None
+                else spec.build()
+            )
+            payload = capture_payload(estimator)
+            blob = pack_artifact_blob(payload)
+            expected = payload["database"]["fingerprint"]
+    except Exception:
+        # Unreadable/corrupt file, uncapturable tagger, or a build that
+        # fails outright: let the workers run the classic path so the
+        # original error surfaces through init_error, same as before.
+        return SpecBootstrap(spec), None
+
+    segment = SharedArtifactSegment.create(blob)
+    bootstrap = SharedArtifactBootstrap(
+        name=segment.name,
+        size=segment.size,
+        expected_fingerprint=expected,
+        matcher_config=spec.matcher_config,
+        max_grams=spec.max_grams,
+        cache_cap=spec.cache_cap,
+    )
+    return bootstrap, segment

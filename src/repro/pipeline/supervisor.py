@@ -16,8 +16,12 @@ result, and ``imap`` waits for it forever.  One lost process aborts
   (hang detection).  A hung worker is killed; both cases count in
   :class:`SupervisorStats`.
 * **Respawn** — replacement workers are started from the same
-  :class:`~repro.pipeline.spec.EstimatorSpec` the pool began with;
-  with an artifact-backed spec the respawn cold-starts in
+  bootstrap the pool began with.  Under the fork start method that
+  bootstrap is a shared-memory artifact segment
+  (:mod:`repro.pipeline.shm`): the coordinator publishes one
+  checksummed artifact image per pool and every worker — initial or
+  respawned — attaches and validates it read-only instead of
+  deserializing a pickled spec, so respawns cold-start in
   milliseconds (the PR-4 store earning its keep under failure).
 * **Bounded retry** — the lost task is re-dispatched to a healthy
   worker, at most ``max_retries`` times, then
@@ -53,6 +57,7 @@ from collections.abc import Callable, Iterator, Sequence
 from dataclasses import dataclass, field
 
 from repro.pipeline.errors import ChunkRetriesExhaustedError
+from repro.pipeline.shm import make_bootstrap
 from repro.pipeline.spec import EstimatorSpec
 
 #: Seconds the result loop blocks on the result queue before running a
@@ -84,16 +89,18 @@ class SupervisorStats:
 class WorkerState:
     """Per-process state handed to task handlers."""
 
-    __slots__ = ("estimator", "stats_installed")
+    __slots__ = ("estimator", "stats_token")
 
     def __init__(self, estimator) -> None:
         self.estimator = estimator
-        # Whether the merged phase-2 unit statistics have been
-        # installed on this worker's estimator (see the engine's
-        # fallback handler).  Reset to False on every (re)spawn, which
-        # is exactly why a worker respawned mid-phase-3 re-installs
-        # the snapshot riding on its next task.
-        self.stats_installed = False
+        # Serial of the merged phase-2 unit-statistics snapshot
+        # currently installed on this worker's estimator (0 = none;
+        # see the engine's fallback handler).  Reset on every
+        # (re)spawn — a worker respawned mid-phase-3 re-installs the
+        # snapshot riding on its next task — and compared against the
+        # task's token so a *persistent* pool reused across runs can
+        # never serve a stale merged table.
+        self.stats_token = 0
 
 
 def _picklable_exc(exc: BaseException) -> BaseException:
@@ -105,7 +112,7 @@ def _picklable_exc(exc: BaseException) -> BaseException:
         return RuntimeError(f"{type(exc).__name__}: {exc}")
 
 
-def _worker_main(worker_id, spec, handlers, task_q, result_q) -> None:
+def _worker_main(worker_id, bootstrap, handlers, task_q, result_q) -> None:
     """One worker process: build the estimator once, serve tasks."""
     # A terminal Ctrl-C delivers SIGINT to the whole foreground process
     # group.  The coordinator's handler owns the shutdown (flush the
@@ -114,7 +121,7 @@ def _worker_main(worker_id, spec, handlers, task_q, result_q) -> None:
     # signal and let the coordinator wind them down through close().
     signal.signal(signal.SIGINT, signal.SIG_IGN)
     try:
-        estimator = spec.build()
+        estimator = bootstrap.build(worker_id)
     except BaseException as exc:  # noqa: BLE001 — shipped to coordinator
         result_q.put(("init_error", worker_id, _picklable_exc(exc)))
         return
@@ -166,7 +173,10 @@ class SupervisedWorkerPool:
     ----------
     spec:
         Estimator recipe each worker (and each respawned replacement)
-        builds once at start-up.
+        builds once at start-up.  Under the fork start method the
+        spec is captured once into a shared-memory artifact segment
+        (:mod:`repro.pipeline.shm`) that workers attach and validate,
+        rather than each deserializing the pickled spec.
     handlers:
         ``kind -> handler(state, payload, task_id, attempt)`` —
         module-level functions (they must cross the process boundary).
@@ -178,6 +188,12 @@ class SupervisedWorkerPool:
         detection (crash detection stays on).
     max_retries:
         Re-dispatches allowed per task after its first attempt.
+    estimator_supplier:
+        Optional zero-arg callable returning an already-built
+        estimator equivalent to ``spec.build()``.  When the caller
+        (e.g. the engine or service) holds a live estimator, the
+        shared-memory bootstrap captures its payload directly instead
+        of building a second one.
     """
 
     def __init__(
@@ -189,6 +205,7 @@ class SupervisedWorkerPool:
         deadline_s: float | None = None,
         max_retries: int = 2,
         ctx: mp.context.BaseContext | None = None,
+        estimator_supplier: Callable | None = None,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1: {workers}")
@@ -202,6 +219,9 @@ class SupervisedWorkerPool:
         self._deadline_s = deadline_s
         self._max_retries = max_retries
         self._ctx = ctx or mp.get_context()
+        self._bootstrap, self._segment = make_bootstrap(
+            spec, estimator_supplier, self._ctx
+        )
         self._result_q: mp.Queue = self._ctx.Queue()
         self._workers: dict[int, _Worker] = {}
         self._next_wid = 0
@@ -220,7 +240,9 @@ class SupervisedWorkerPool:
         task_q: mp.Queue = self._ctx.Queue()
         process = self._ctx.Process(
             target=_worker_main,
-            args=(wid, self._spec, self._handlers, task_q, self._result_q),
+            args=(
+                wid, self._bootstrap, self._handlers, task_q, self._result_q
+            ),
             name=f"repro-pool-{wid}",
             daemon=True,
         )
@@ -252,6 +274,11 @@ class SupervisedWorkerPool:
             self._discard(wid, kill=True)
         self._result_q.cancel_join_thread()
         self._result_q.close()
+        # Workers are gone; the coordinator removes the shared artifact
+        # segment exactly once.  Idempotent, so a close() after a
+        # crashed run (or a second close()) is still a no-op.
+        if self._segment is not None:
+            self._segment.unlink()
 
     def __enter__(self) -> "SupervisedWorkerPool":
         return self

@@ -35,7 +35,11 @@ from repro import __version__, faults
 from repro.core.estimator import NutritionEstimator
 from repro.core.explain import explain_line
 from repro.deadletter import DeadLetterLog
-from repro.pipeline.engine import RunReport, ShardedCorpusEstimator
+from repro.pipeline.engine import (
+    RunReport,
+    ShardedCorpusEstimator,
+    _columnar_enabled,
+)
 from repro.pipeline.errors import PipelineError
 from repro.pipeline.spec import EstimatorSpec
 from repro.service import codec
@@ -235,11 +239,23 @@ class ServiceState:
             )
         self._engine: ShardedCorpusEstimator | None = (
             ShardedCorpusEstimator(
-                engine_spec, workers=config.workers, quarantine=True
+                engine_spec,
+                workers=config.workers,
+                quarantine=True,
+                # Capture the pool's shared-memory bootstrap payload
+                # from the estimator the service already built.
+                estimator_supplier=lambda: self._estimator,
             )
             if config.workers > 1
             else None
         )
+        if self._engine is not None:
+            # The persistent warm pool: spawn the workers now (shared-
+            # memory bootstrap included) so the first
+            # /v1/estimate_batch request fans out to warm processes
+            # instead of paying the pool start-up inline.  The pool
+            # lives until close() and is reused by every batch.
+            self._engine.ensure_pool()
         # Resilience machinery (see repro.service.resilience).
         self.admission = AdmissionController(
             config.max_concurrent, config.max_queue
@@ -268,6 +284,16 @@ class ServiceState:
     def estimator(self) -> NutritionEstimator:
         """The warm shared estimator (tests and examples peek at it)."""
         return self._estimator
+
+    def close(self) -> None:
+        """Release the batch engine's persistent pool (idempotent).
+
+        Called by the server at the end of graceful shutdown; also
+        safe to call directly in tests that build a state by hand.
+        The engine unlinks its shared-memory artifact segment here.
+        """
+        if self._engine is not None:
+            self._engine.close()
 
     # ------------------------------------------------------------------
     # response cache
@@ -349,7 +375,7 @@ class ServiceState:
         quarantine = DeadLetterLog()
         with self._estimator_lock:
             table = self._estimator.corpus_estimate_table(
-                counts, quarantine=quarantine
+                counts, quarantine=quarantine, columnar=_columnar_enabled()
             )
         self.note_dead_letters(len(quarantine))
         return table
@@ -361,11 +387,12 @@ class ServiceState:
 
         Both paths run the identical two-phase corpus protocol, so the
         choice is invisible in the response (the engine's exact-parity
-        guarantee).  The engine path spins a process pool per request
-        — each worker rebuilds its estimator from the spec — so it
-        only engages past ``config.engine_min_lines``, where the
-        fan-out amortizes the start-up; it runs under its own lock so
-        a large batch never stalls single-recipe traffic.
+        guarantee).  The engine path fans out through the **persistent
+        warm pool** spawned at startup (workers boot once from the
+        shared-memory artifact segment and are reused by every batch);
+        it only engages past ``config.engine_min_lines``, where fan-out
+        beats the warm estimator, and runs under its own lock so a
+        large batch never stalls single-recipe traffic.
 
         The engine path sits behind the circuit breaker: an engine
         failure (chunk retry budget exhausted, pool unusable, artifact

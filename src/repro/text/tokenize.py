@@ -85,6 +85,22 @@ def tokenize(text: str) -> list[str]:
     return [m.group(0).replace(" ", "") for m in _TOKEN_RE.finditer(text)]
 
 
+def tokenize_fast(text: str) -> list[str]:
+    """:func:`tokenize` with the normalization pass skipped for ASCII.
+
+    :func:`normalize_unicode` only rewrites non-ASCII characters
+    (vulgar fractions and fraction slashes), so it is the identity on
+    any ``str.isascii()`` input — the overwhelmingly common case for
+    recipe lines — and can be skipped outright.  Non-ASCII input takes
+    the full :func:`tokenize` path.  Output is identical to
+    :func:`tokenize` for every input; used by the columnar batch
+    pipeline (:mod:`repro.core.columnar`).
+    """
+    if text.isascii():
+        return [m.group(0).replace(" ", "") for m in _TOKEN_RE.finditer(text)]
+    return tokenize(text)
+
+
 def word_tokens(text: str) -> list[str]:
     """Tokenize and keep only alphabetic tokens, lower-cased.
 

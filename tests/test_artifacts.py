@@ -241,13 +241,16 @@ class TestDatabaseMismatch:
 
 
 class TestArtifactSwapRace:
-    def test_worker_refuses_artifact_swapped_under_running_engine(
-        self, tmp_path
-    ):
+    def test_running_engine_is_immune_to_artifact_swap(self, tmp_path):
         """A deploy that rewrites the artifact file while an engine is
-        live must fail typed, not decode wire indices against the
-        wrong database (the coordinator pins its food view onto the
-        worker spec — see ShardedCorpusEstimator._worker_spec)."""
+        live must never decode wire indices against the wrong
+        database.  The pool boots from a shared-memory image captured
+        at spawn (see repro.pipeline.shm), so a warm pool cannot even
+        observe the swap — it keeps answering from the pinned startup
+        artifact.  A pool spawned *after* the swap re-reads the file
+        and must fail typed (the coordinator pins its fingerprint onto
+        the worker bootstrap — see ShardedCorpusEstimator._worker_spec).
+        """
         from repro import RecipeGenerator, ShardedCorpusEstimator
         from repro.usda.database import NutrientDatabase
 
@@ -257,19 +260,29 @@ class TestArtifactSwapRace:
             EstimatorSpec(artifact_path=str(path)), workers=2
         )
         recipes = RecipeGenerator().generate(4)
-        engine.estimate_corpus(recipes)  # healthy run, caches the foods
+        first = engine.estimate_corpus(recipes)  # spawns the warm pool
 
         # Swap in an artifact built against a different database.
         tiny = NutrientDatabase(_tiny_database_foods())
         save_artifact(path, NutritionEstimator(database=tiny))
+
+        # The persistent pool still holds the startup image: results
+        # stay bit-identical to the pre-swap run.
+        assert engine.estimate_corpus(recipes) == first
+
+        # A fresh pool boots from the swapped file and fails typed.
+        engine.close()
         with pytest.raises(ArtifactMismatchError, match="different database"):
             engine.estimate_corpus(recipes)
+        engine.close()
 
     def test_service_engine_is_pinned_to_startup_artifact(self, tmp_path):
-        """The service estimator is built at startup but the engine
-        pool spins per batch request: after an on-disk artifact swap,
-        batch fan-out must fail typed rather than let /v1/estimate and
-        /v1/estimate_batch answer from different databases."""
+        """After an on-disk artifact swap, /v1/estimate and
+        /v1/estimate_batch must never answer from different databases.
+        The service spawns its persistent pool at startup from a
+        shared-memory image of the artifact, so both paths keep
+        answering from the startup database; a pool respawned after
+        the swap fails typed instead of splitting the endpoints."""
         from repro.service.state import ServiceConfig, ServiceState
         from repro.usda.database import NutrientDatabase
 
@@ -286,8 +299,17 @@ class TestArtifactSwapRace:
         save_artifact(path, NutritionEstimator(database=tiny))
         # Enough distinct lines to engage the engine pool (>= 256).
         counts = {f"{i} cups flour type{i}": 1 for i in range(300)}
+        # Warm pool: batch fan-out matches the warm estimator exactly —
+        # one database on both endpoints, swap notwithstanding.
+        assert state._estimate_table(counts) == state._local_table(
+            counts, None
+        )
+        # A pool respawned post-swap must fail typed, not silently
+        # serve the other database.
+        state.close()
         with pytest.raises(ArtifactMismatchError, match="different database"):
             state._estimate_table(counts)
+        state.close()
 
 
 class TestFilePermissions:

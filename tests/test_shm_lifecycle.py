@@ -1,0 +1,269 @@
+"""Lifecycle of the shared-memory artifact handoff (ISSUE 9).
+
+The sharded engine publishes the estimator's artifact image into one
+``multiprocessing.shared_memory`` segment per pool; workers attach
+read-only, validate magic/version/checksum/fingerprint, and build
+from the bytes.  These tests pin the segment's whole life:
+
+* created **once** per pool, named ``repro-art-*`` so a leak scan can
+  find strays,
+* shared across crash→respawn (the replacement worker re-attaches the
+  same segment and the run's results stay bit-identical),
+* a ``crash@shm-attach`` fault at boot is survived the same way,
+* unlinked exactly once on clean ``close()`` — and by the GC
+  finalizer when an engine is dropped without closing,
+* never leaked: every test asserts the ``/dev/shm`` scan returns to
+  its baseline.
+"""
+
+from __future__ import annotations
+
+import gc
+import multiprocessing as mp
+import os
+from multiprocessing import shared_memory
+
+import pytest
+
+from repro import EstimatorSpec, NutritionEstimator, RecipeGenerator
+from repro.artifacts.errors import ArtifactCorruptError
+from repro.artifacts.format import pack_artifact_blob, parse_artifact_blob
+from repro.pipeline.engine import ShardedCorpusEstimator
+from repro.pipeline.shm import (
+    SEGMENT_PREFIX,
+    SharedArtifactBootstrap,
+    SharedArtifactSegment,
+    SpecBootstrap,
+    make_bootstrap,
+    sweep_stale_segments,
+)
+
+SHM_DIR = "/dev/shm"
+
+pytestmark = pytest.mark.skipif(
+    not os.path.isdir(SHM_DIR)
+    or mp.get_start_method(allow_none=False) != "fork",
+    reason="requires /dev/shm and the fork start method",
+)
+
+
+def _segments() -> set[str]:
+    """Names of live repro artifact segments on this host."""
+    return {
+        name
+        for name in os.listdir(SHM_DIR)
+        if name.startswith(SEGMENT_PREFIX)
+    }
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_segments():
+    """Every test must return ``/dev/shm`` to its starting state."""
+    before = _segments()
+    yield
+    gc.collect()
+    assert _segments() == before
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return RecipeGenerator().generate(60)
+
+
+@pytest.fixture(scope="module")
+def reference(corpus):
+    return NutritionEstimator().estimate_corpus(corpus)
+
+
+class TestSegment:
+    def test_roundtrip_and_unlink(self):
+        blob = pack_artifact_blob({"hello": [1, 2, 3]})
+        segment = SharedArtifactSegment.create(blob)
+        try:
+            assert segment.name in _segments()
+            assert segment.size == len(blob)
+            attached = shared_memory.SharedMemory(name=segment.name)
+            try:
+                copy = bytes(attached.buf[: segment.size])
+            finally:
+                attached.close()
+            assert copy == blob
+            assert parse_artifact_blob(copy) == {"hello": [1, 2, 3]}
+        finally:
+            segment.unlink()
+        assert segment.name not in _segments()
+
+    def test_unlink_is_idempotent(self):
+        segment = SharedArtifactSegment.create(b"x" * 64)
+        segment.unlink()
+        segment.unlink()  # second call must be a silent no-op
+
+    def test_corrupt_blob_rejected_with_segment_source(self):
+        blob = bytearray(pack_artifact_blob({"k": "v"}))
+        blob[-1] ^= 0xFF
+        with pytest.raises(ArtifactCorruptError, match="shm:test"):
+            parse_artifact_blob(bytes(blob), source="shm:test")
+
+
+class TestBootstrapSelection:
+    def test_fork_context_uses_shared_segment(self):
+        spec = EstimatorSpec()
+        bootstrap, segment = make_bootstrap(spec)
+        try:
+            assert isinstance(bootstrap, SharedArtifactBootstrap)
+            assert segment is not None
+            assert bootstrap.name == segment.name
+        finally:
+            if segment is not None:
+                segment.unlink()
+
+    def test_spawn_context_falls_back_to_spec(self):
+        """Under spawn each child re-registers the segment with its
+        own resource tracker, which would unlink it early — so the
+        classic pickled-spec bootstrap is kept instead."""
+        bootstrap, segment = make_bootstrap(
+            EstimatorSpec(), ctx=mp.get_context("spawn")
+        )
+        assert isinstance(bootstrap, SpecBootstrap)
+        assert segment is None
+
+    def test_bootstrap_build_yields_working_estimator(self):
+        bootstrap, segment = make_bootstrap(EstimatorSpec())
+        try:
+            estimator = bootstrap.build(worker_id=0)
+            expected = NutritionEstimator().estimate_ingredient(
+                "2 cups flour"
+            )
+            assert estimator.estimate_ingredient("2 cups flour") == expected
+        finally:
+            segment.unlink()
+
+    def test_unbuildable_spec_falls_back_to_spec_bootstrap(self):
+        """A spec whose build() raises must keep raising inside the
+        worker (the init_error channel), not abort pool construction
+        in the parent."""
+        spec = EstimatorSpec(max_grams=-1.0)
+        with pytest.raises(Exception):
+            spec.build()  # precondition: this spec really is broken
+        bootstrap, segment = make_bootstrap(spec)
+        assert isinstance(bootstrap, SpecBootstrap)
+        assert segment is None
+
+
+def _dead_pid() -> int:
+    """A pid guaranteed to belong to no live process."""
+    proc = mp.Process(target=_noop)
+    proc.start()
+    proc.join()
+    return proc.pid
+
+
+def _noop() -> None:
+    pass
+
+
+def _plant(name: str) -> str:
+    """Plant a fake abandoned segment file directly in /dev/shm."""
+    path = os.path.join(SHM_DIR, name)
+    with open(path, "wb") as handle:
+        handle.write(b"\0" * 32)
+    return path
+
+
+class TestStaleSweep:
+    """Segments abandoned by hard-killed coordinators are reclaimed.
+
+    ``kill -9`` / OOM / injected ``os._exit(70)`` skip ``unlink()``,
+    and orphaned workers keep the resource tracker from ever cleaning
+    up — so the next pool start must do it, keyed on the dead creator
+    pid embedded in the segment name.
+    """
+
+    def test_sweep_removes_dead_creator_keeps_live(self):
+        stale = _plant(f"{SEGMENT_PREFIX}{_dead_pid()}-deadbeef")
+        live = _plant(f"{SEGMENT_PREFIX}{os.getpid()}-feedface")
+        try:
+            removed = sweep_stale_segments()
+            assert os.path.basename(stale) in removed
+            assert not os.path.exists(stale)
+            assert os.path.exists(live)  # creator (us) is alive
+        finally:
+            for path in (stale, live):
+                if os.path.exists(path):
+                    os.unlink(path)
+
+    def test_sweep_skips_malformed_names(self):
+        odd = _plant(f"{SEGMENT_PREFIX}notapid-cafe")
+        try:
+            assert os.path.basename(odd) not in sweep_stale_segments()
+            assert os.path.exists(odd)
+        finally:
+            os.unlink(odd)
+
+    def test_segment_create_reclaims_stale_segments(self):
+        stale = _plant(f"{SEGMENT_PREFIX}{_dead_pid()}-0badc0de")
+        segment = SharedArtifactSegment.create(b"x" * 16)
+        try:
+            assert not os.path.exists(stale)
+        finally:
+            segment.unlink()
+            if os.path.exists(stale):
+                os.unlink(stale)
+
+
+class TestEngineLifecycle:
+    def test_one_segment_per_pool_unlinked_on_close(self, corpus, reference):
+        baseline = _segments()
+        engine = ShardedCorpusEstimator(workers=2, chunk_size=32)
+        engine.ensure_pool()
+        live = _segments() - baseline
+        assert len(live) == 1  # created once, before any run
+
+        assert engine.estimate_corpus(corpus) == reference
+        assert _segments() - baseline == live  # reused, not re-created
+        assert engine.estimate_corpus(corpus) == reference  # warm reuse
+        assert _segments() - baseline == live
+
+        engine.close()
+        assert _segments() == baseline
+        engine.close()  # idempotent
+
+    def test_finalizer_unlinks_unclosed_engine(self, corpus, reference):
+        baseline = _segments()
+        engine = ShardedCorpusEstimator(workers=2, chunk_size=32)
+        assert engine.estimate_corpus(corpus) == reference
+        assert len(_segments() - baseline) == 1
+        del engine
+        gc.collect()
+        assert _segments() == baseline
+
+    def test_segment_survives_worker_crash(
+        self, monkeypatch, corpus, reference
+    ):
+        """crash@collect-chunk kills a worker mid-run; the respawned
+        worker re-attaches the same segment and the results stay
+        bit-identical."""
+        monkeypatch.setenv("REPRO_FAULTS", "crash@collect-chunk:1")
+        baseline = _segments()
+        with ShardedCorpusEstimator(workers=2, chunk_size=16) as engine:
+            engine.ensure_pool()
+            live = _segments() - baseline
+            assert engine.estimate_corpus(corpus) == reference
+            report = engine.last_report
+            assert report.worker_crashes >= 1
+            assert report.respawns >= 1
+            assert _segments() - baseline == live  # same segment
+        assert _segments() == baseline
+
+    def test_crash_at_shm_attach_respawns_clean(
+        self, monkeypatch, corpus, reference
+    ):
+        """A worker killed *while attaching the segment* is replaced;
+        the replacement (fresh worker id, first-attempt-only crash
+        rule) attaches cleanly and the run completes identically."""
+        monkeypatch.setenv("REPRO_FAULTS", "crash@shm-attach:0")
+        with ShardedCorpusEstimator(workers=2, chunk_size=32) as engine:
+            assert engine.estimate_corpus(corpus) == reference
+            report = engine.last_report
+            assert report.worker_crashes >= 1
+            assert report.respawns >= 1
