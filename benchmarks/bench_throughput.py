@@ -19,6 +19,11 @@ ingredient lines (100 only in smoke mode):
   columnar table >= 1.5x per-line, and a monotonic non-regression
   gate (N workers >= 0.9x the best smaller count, up to the host's
   core count) that also runs in CI smoke mode,
+* **duplicate collapse** (ISSUE 10): the two-phase engine with
+  coordinator-side duplicate collapse vs the ``dedup=False``
+  per-occurrence oracle on the high-reuse Zipf corpus
+  (distinct/total ≈ 0.15), outputs asserted equal, floor >= 2x —
+  enforced in smoke mode too,
 * **perceptron emissions** (PR 2): the vectorized interned-feature
   emission path against the dict-based reference loop.
 
@@ -40,7 +45,12 @@ import os
 import statistics
 import time
 
-from conftest import BENCH_CHUNK_SIZE, BENCH_WORKER_COUNTS, write_result
+from conftest import (
+    BENCH_CHUNK_SIZE,
+    BENCH_WORKER_COUNTS,
+    high_reuse_corpus,
+    write_result,
+)
 
 from repro import (
     NutritionEstimator,
@@ -82,6 +92,12 @@ MIN_WORKER_SPEEDUP = 2.0
 #: trained-perceptron configuration (full mode only; the smoke
 #: corpus is too small for stable stage timings).
 MIN_COLUMNAR_SPEEDUP = 1.5
+#: Acceptance floor: two-phase engine with coordinator-side duplicate
+#: collapse vs the ``dedup=False`` per-occurrence oracle on the
+#: high-reuse Zipf corpus (distinct/total ≈ 0.15).  Enforced in smoke
+#: mode too — the win is per-line work skipped, which does not need a
+#: large corpus to show.
+MIN_DEDUP_SPEEDUP = 2.0
 #: Worker-scaling non-regression gate: adding workers may never cost
 #: more than this fraction of the best smaller-count throughput.
 #: Enforced in smoke mode too (the CI job fails on a violation), but
@@ -314,6 +330,41 @@ def assert_scaling_non_regression(series: list[dict], cores: int) -> None:
         best_so_far = max(best_so_far, rate)
 
 
+def bench_dedup_collapse() -> dict:
+    """Duplicate collapse vs the per-occurrence oracle (ISSUE 10).
+
+    Both runs are the identical single-process two-phase engine on the
+    high-reuse Zipf corpus; only coordinator-side duplicate collapse
+    differs.  Each engine is warmed with one untimed pass first (the
+    same convention as the pool series' ``ensure_pool``) so the series
+    measures collapse, not estimator cold start — the memo caches are
+    equally warm in both modes.  The outputs are asserted equal — the
+    speedup is pure skipped work, never changed results."""
+    recipes = high_reuse_corpus()
+    n_lines = sum(len(r.ingredient_texts) for r in recipes)
+    distinct = len({t for r in recipes for t in r.ingredient_texts})
+
+    elapsed: dict[str, float] = {}
+    estimates: dict[str, list] = {}
+    for label, dedup in (("dedup", True), ("no_dedup", False)):
+        engine = ShardedCorpusEstimator(workers=1, dedup=dedup)
+        estimates[label] = engine.estimate_corpus(recipes)
+        elapsed[label] = _best_of(
+            2, lambda: engine.estimate_corpus(recipes)
+        )
+    # Bit-identical output is part of the measurement's contract.
+    assert estimates["dedup"] == estimates["no_dedup"]
+    return {
+        "recipes": len(recipes),
+        "lines": n_lines,
+        "distinct_lines": distinct,
+        "distinct_ratio": round(distinct / n_lines, 3),
+        "dedup_lines_per_sec": round(n_lines / elapsed["dedup"]),
+        "no_dedup_lines_per_sec": round(n_lines / elapsed["no_dedup"]),
+        "dedup_speedup": round(elapsed["no_dedup"] / elapsed["dedup"], 2),
+    }
+
+
 def bench_perceptron_emissions() -> dict:
     """Vectorized interned-feature emissions vs the dict reference."""
     n_train, epochs, n_test = (150, 2, 60) if SMOKE else (600, 4, 300)
@@ -414,6 +465,7 @@ def run_benchmark() -> dict:
             assert fast == slow, q
 
     report["worker_scaling"] = bench_worker_scaling()
+    report["dedup_collapse"] = bench_dedup_collapse()
     report["perceptron_emissions"] = bench_perceptron_emissions()
     return report
 
@@ -434,6 +486,11 @@ def test_throughput():
         # job fails the build on a scaling violation.
         assert_scaling_non_regression(series, cores)
     assert report["perceptron_emissions"]["speedup"] > 1.0
+    # Duplicate-collapse floor: enforced in smoke mode too (the CI
+    # smoke job fails the build if collapse stops paying).
+    dedup = report["dedup_collapse"]
+    assert dedup["distinct_ratio"] <= 0.25, dedup
+    assert dedup["dedup_speedup"] >= MIN_DEDUP_SPEEDUP, dedup
     if not SMOKE:
         columnar = scaling["series_columnar"]
         top = max(columnar, key=lambda s: s["workers"])

@@ -21,6 +21,7 @@ import pytest
 
 from repro import NutritionEstimator, RecipeGenerator
 from repro.ner import AveragedPerceptronTagger
+from repro.recipedb.generator import GeneratorConfig
 from repro.utils import atomic_write_text
 
 #: Corpus scale; override with REPRO_BENCH_RECIPES for bigger runs.
@@ -42,6 +43,14 @@ BENCH_WORKER_COUNTS: tuple[int, ...] = tuple(
     for w in os.environ.get("REPRO_BENCH_WORKERS", "1,2,4").split(",")
     if w.strip()
 )
+
+#: High-reuse Zipf corpus shape, per mode: ``(recipes, line_reuse)``
+#: tuned so the distinct/total line ratio lands near 0.15 — the
+#: scraped-corpus regime (RecipeDB/AllRecipes repeat "1 teaspoon
+#: salt" thousands of times) that coordinator-side duplicate collapse
+#: targets.  The achieved ratio is recorded in the emitted report.
+HIGH_REUSE_SMOKE_SHAPE = (600, 0.87)
+HIGH_REUSE_FULL_SHAPE = (2500, 0.84)
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 #: Subdirectory (under the results dir) that quarantines smoke output.
@@ -67,6 +76,21 @@ def write_result(name: str, content: str) -> Path:
     path = directory / name
     atomic_write_text(path, content + "\n")
     return path
+
+
+def high_reuse_corpus():
+    """The high-reuse Zipf corpus for the mode in effect (see
+    :data:`HIGH_REUSE_SMOKE_SHAPE`).  A plain function, not a
+    fixture, so standalone ``python benchmarks/bench_*.py`` runs can
+    call it too."""
+    n_recipes, line_reuse = (
+        HIGH_REUSE_SMOKE_SHAPE
+        if os.environ.get("REPRO_BENCH_SMOKE", "") == "1"
+        else HIGH_REUSE_FULL_SHAPE
+    )
+    return RecipeGenerator(
+        config=GeneratorConfig(seed=13, line_reuse=line_reuse)
+    ).generate(n_recipes)
 
 
 @pytest.fixture(scope="session")

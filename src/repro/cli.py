@@ -75,7 +75,10 @@ from repro.runs import (
     run_summary,
 )
 from repro.service import ServiceConfig, serve
-from repro.service.state import DEFAULT_RESPONSE_CACHE_CAP
+from repro.service.state import (
+    DEFAULT_FRAGMENT_CACHE_CAP,
+    DEFAULT_RESPONSE_CACHE_CAP,
+)
 from repro.eval.tables import (
     render_table_i,
     render_table_ii,
@@ -205,6 +208,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             args.artifact = manifest.database.get("artifact_path") or ""
         if not args.strict and not manifest.config.get("quarantine", True):
             args.strict = True
+        if not args.no_dedup and not manifest.config.get("dedup", True):
+            args.no_dedup = True
     elif args.run_dir:
         run_dir = Path(args.run_dir) / new_run_id()
     if args.path is None:
@@ -256,6 +261,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             max_chunk_retries=args.max_chunk_retries,
             run_dir=run_dir,
             resume=resume,
+            dedup=False if args.no_dedup else None,
         )
         recipe_stream = (
             iter_recipes_jsonl(args.path, on_error="skip")
@@ -351,6 +357,15 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         f"\n{n_recipes} recipes / {lines} ingredient lines "
         f"in {elapsed:.2f}s ({rate:.0f} lines/s, {mode})"
     )
+    if report is not None and report.total_lines:
+        collapse = (
+            f"duplicate collapse: {report.total_lines} occurrences -> "
+            f"{report.distinct_lines} distinct lines "
+            f"({report.dedup_ratio:.2f}x)"
+        )
+        if not report.dedup:
+            collapse += "  [dedup off: per-occurrence oracle]"
+        print(collapse)
     if reason_tally is not None:
         print("\nreason-code breakdown:")
         print(reason_tally.breakdown().render())
@@ -426,6 +441,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             port=args.port,
             workers=args.workers,
             cache_cap=args.cache_cap,
+            fragment_cache_cap=args.fragment_cache_cap,
             spec=_spec_from_args(args),
             max_body_bytes=args.max_body_bytes,
             request_timeout_s=(
@@ -584,6 +600,11 @@ def build_parser() -> argparse.ArgumentParser:
                                  "chunks, execute only missing ones — "
                                  "output is bit-identical to an "
                                  "uninterrupted run")
+    batch.add_argument("--no-dedup", action="store_true",
+                       help="disable coordinator-side duplicate collapse "
+                            "(engine path): feed every line occurrence "
+                            "through estimation individually — the slow "
+                            "parity oracle; results are bit-identical")
     batch.add_argument("--jsonl", action="store_true",
                        help="stream the corpus (bounded memory) through "
                             "the corpus engine instead of loading it")
@@ -626,6 +647,11 @@ def build_parser() -> argparse.ArgumentParser:
                            default=DEFAULT_RESPONSE_CACHE_CAP,
                            help="response cache entry cap (default "
                                 f"{DEFAULT_RESPONSE_CACHE_CAP})")
+    serve_cmd.add_argument("--fragment-cache-cap", type=int,
+                           default=DEFAULT_FRAGMENT_CACHE_CAP, metavar="N",
+                           help="serialized-estimate fragment cache entry "
+                                "cap (default "
+                                f"{DEFAULT_FRAGMENT_CACHE_CAP})")
     serve_cmd.add_argument("--request-timeout", type=float, default=30.0,
                            metavar="SECONDS",
                            help="per-request estimation deadline; "

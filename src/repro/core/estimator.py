@@ -365,6 +365,10 @@ class NutritionEstimator:
             self._parse_cache[text] = parsed
         return parsed
 
+    def parse_cache_stats(self) -> dict:
+        """Hit/miss/eviction counters for the parse memo (``/metrics``)."""
+        return self._parse_cache.stats()
+
     def _estimate_line(
         self, text: str, consult_fallback: bool = True
     ) -> IngredientEstimate:
@@ -648,7 +652,7 @@ class NutritionEstimator:
 
     def corpus_estimate_table(
         self,
-        counts: dict[str, int],
+        counts: dict[str, int] | Sequence[tuple[str, int]],
         *,
         quarantine: DeadLetterLog | None = None,
         columnar: bool = False,
@@ -664,9 +668,22 @@ class NutritionEstimator:
         in exactly one place.  *quarantine* enables poison-line
         diversion in both passes (see
         :meth:`corpus_collect_estimates`).
+
+        *counts* is normally a distinct-line table (``text -> count``)
+        but also accepts an explicit ``(text, count)`` sequence with
+        repeated texts — the ``REPRO_DEDUP=0`` oracle feeds one entry
+        per corpus occurrence, which yields the identical table:
+        estimation is deterministic per text, and n unit observations
+        of weight 1 equal one observation of weight n (same counts,
+        same key insertion order, same tie-breaks).
         """
+        items = (
+            list(counts.items())
+            if isinstance(counts, dict)
+            else list(counts)
+        )
         estimates, observations = self.corpus_collect_estimates(
-            counts.items(), quarantine=quarantine, columnar=columnar
+            items, quarantine=quarantine, columnar=columnar
         )
         self._fallback.clear()
         self._fallback.merge(observations)
@@ -677,7 +694,10 @@ class NutritionEstimator:
         ]
         ordinals = None
         if quarantine is not None:
-            ordinals = {text: i for i, text in enumerate(counts)}
+            ordinals = {}
+            for i, (text, _) in enumerate(items):
+                if text not in ordinals:
+                    ordinals[text] = i
         estimates.update(
             self.corpus_fallback_estimates(
                 pending,

@@ -97,6 +97,15 @@ class DeadLetterLog:
     def extend(self, records: "DeadLetterLog | list[DeadLetter]") -> None:
         self._records.extend(records)
 
+    def replace(self, records: "list[DeadLetter]") -> None:
+        """Swap the log's contents in place (identity-preserving).
+
+        The sharded coordinator uses this to renumber estimate-side
+        records without breaking callers that already hold a
+        reference to the run report's log.
+        """
+        self._records = list(records)
+
     @property
     def records(self) -> tuple[DeadLetter, ...]:
         return tuple(self._records)

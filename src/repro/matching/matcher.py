@@ -45,6 +45,9 @@ from repro.text.tokenize import word_tokens
 from repro.usda.database import NutrientDatabase
 from repro.utils import DEFAULT_CACHE_CAP, BoundedCache
 
+#: Sentinel distinguishing "not cached" from a cached ``None`` miss.
+_UNCACHED = object()
+
 
 @dataclass(frozen=True, slots=True)
 class MatcherConfig:
@@ -158,6 +161,10 @@ class DescriptionMatcher:
         """Drop memoized match results (benchmarking/profiling hook)."""
         self._cache.clear()
 
+    def cache_stats(self) -> dict[str, int | float]:
+        """Result-memo effectiveness (``/metrics`` ``caches.matcher``)."""
+        return self._cache.stats()
+
     def build_query(
         self,
         name: str,
@@ -246,8 +253,9 @@ class DescriptionMatcher:
         Results are cached per (name, state, temperature, dry_fresh).
         """
         key = (name.lower(), state.lower(), temperature.lower(), dry_fresh.lower())
-        if key in self._cache:
-            return self._cache[key]
+        cached = self._cache.get(key, _UNCACHED)
+        if cached is not _UNCACHED:
+            return cached
         result = self._match_uncached(name, state, temperature, dry_fresh)
         self._cache[key] = result
         return result
@@ -306,8 +314,9 @@ class DescriptionMatcher:
                 name.lower(), state.lower(),
                 temperature.lower(), dry_fresh.lower(),
             )
-            if key in cache:
-                results[pos] = cache[key]
+            cached = cache.get(key, _UNCACHED)
+            if cached is not _UNCACHED:
+                results[pos] = cached
                 continue
             group = positions.get(key)
             if group is not None:

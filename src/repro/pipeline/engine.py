@@ -62,6 +62,28 @@ per-line reference by construction and pinned differentially by
 per-line path everywhere (the escape hatch the differential harness
 and benchmarks flip).
 
+**Duplicate collapse** (ISSUE 10): the coordinator hash-conses the
+corpus's ingredient lines into the distinct-line table *before*
+sharding, so wire traffic, NER, matching and unit-chain work all
+scale with the distinct set — heavily Zipfian real corpora repeat "1
+cup sugar" millions of times.  The collapse is exact: phase-1
+observations are weighted by multiplicity
+(:meth:`UnitFallback.observe` with ``count=n``), which produces the
+identical counts *and* identical key insertion order — hence the same
+``most_common`` tie-breaks — as n repeated observes, and phase-3
+estimates are pure functions of (text, frozen table), so per-distinct
+results expand to per-occurrence results losslessly on the assembly
+pass.  ``REPRO_DEDUP=0`` (or ``dedup=False`` / the CLI's
+``--no-dedup``) pins the per-occurrence oracle: the line table keeps
+one ``(text, 1)`` entry per occurrence in corpus order, and the
+differential suites byte-compare the two modes end to end
+(``tests/test_dedup_parity.py``).  Estimate-side dead letters are
+re-numbered by the coordinator from line-table ordinals to
+per-occurrence corpus positions with the same procedure in both
+modes, so a poisoned line that occurs k times dead-letters k times
+with correct positions — and the persisted report is byte-identical
+across modes and across resume.
+
 **Persistent pool** (ISSUE 9): the supervised pool outlives a single
 run.  The first pool run spawns it (workers boot from a shared-memory
 artifact segment, :mod:`repro.pipeline.shm`); later runs on the same
@@ -95,7 +117,7 @@ from repro.core.estimator import (
     NutritionEstimator,
     RecipeEstimate,
 )
-from repro.deadletter import DeadLetterLog
+from repro.deadletter import MAX_INPUT_CHARS, DeadLetterLog
 from repro.pipeline.spec import EstimatorSpec
 from repro.pipeline.supervisor import SupervisedWorkerPool, WorkerState
 from repro.pipeline.wire import dumps_estimates, loads_estimates
@@ -103,7 +125,7 @@ from repro.recipedb.corpus import iter_recipes_jsonl
 from repro.recipedb.model import Recipe
 from repro.runs import DurableRun, RunError, RunJournalError, RunManifest
 from repro.runs.manifest import corpus_identity, new_run_id
-from repro.units.fallback import UnitFallback
+from repro.units.fallback import UnitFallback, snapshot_digest
 
 #: A corpus source the engine can traverse twice: an in-memory
 #: sequence, or a path to a JSONL file (re-streamed per pass).
@@ -129,6 +151,19 @@ def _columnar_enabled() -> bool:
     return os.environ.get("REPRO_COLUMNAR", "1") != "0"
 
 
+def _dedup_enabled() -> bool:
+    """Whether corpus lines are collapsed to the distinct set (default:
+    yes).
+
+    ``REPRO_DEDUP=0`` pins the per-occurrence oracle — every
+    ingredient-line occurrence is shipped, estimated and observed
+    independently, exactly as if no interning layer existed.  The
+    differential suites and the dedup benchmarks flip this to hold the
+    reference side still.
+    """
+    return os.environ.get("REPRO_DEDUP", "1") != "0"
+
+
 @dataclass
 class RunReport:
     """What happened, beyond the estimates, during one corpus run."""
@@ -148,6 +183,34 @@ class RunReport:
     #: pure replay: ``executed_chunks == 0``.
     replayed_chunks: int = 0
     executed_chunks: int = 0
+    #: Line-interning accounting (ISSUE 10).  ``total_lines`` counts
+    #: ingredient-line occurrences across the corpus; ``distinct_lines``
+    #: counts the entries that actually did pipeline work after
+    #: duplicate collapse.  ``dedup=False`` marks the per-occurrence
+    #: oracle run (``REPRO_DEDUP=0`` / ``--no-dedup``).
+    dedup: bool = True
+    total_lines: int = 0
+    distinct_lines: int = 0
+    #: Content digest of the frozen phase-boundary unit table — the
+    #: statistics half of the service tier's fragment-cache token
+    #: (:func:`repro.units.fallback.snapshot_digest`).
+    stats_digest: str | None = None
+
+    @property
+    def dedup_ratio(self) -> float:
+        """Occurrences per distinct line (1.0 when nothing repeats)."""
+        if not self.distinct_lines:
+            return 1.0
+        return self.total_lines / self.distinct_lines
+
+    def dedup_counters(self) -> dict:
+        """Duplicate-collapse accounting (CLI summary + /metrics)."""
+        return {
+            "dedup": self.dedup,
+            "total_lines": self.total_lines,
+            "distinct_lines": self.distinct_lines,
+            "dedup_ratio": round(self.dedup_ratio, 3),
+        }
 
     def counters(self) -> dict:
         """Flat counter view (the service merges this into /metrics)."""
@@ -291,6 +354,12 @@ class ShardedCorpusEstimator:
         :class:`~repro.runs.errors.RunMismatchError` on drift),
         truncate any torn journal tail, replay journaled chunks and
         execute only the missing ones.
+    dedup:
+        Collapse corpus lines to the distinct-line table before
+        sharding (the interning layer).  ``None`` — the default —
+        defers to the ``REPRO_DEDUP`` environment variable (on unless
+        ``0``), resolved per run; ``False`` pins the per-occurrence
+        oracle for this engine regardless of environment.
     force_pool:
         Route even ``workers=1`` non-durable runs through the
         supervised pool instead of the in-process shortcut.  The
@@ -318,6 +387,7 @@ class ShardedCorpusEstimator:
         max_chunk_retries: int = DEFAULT_MAX_CHUNK_RETRIES,
         run_dir: str | Path | None = None,
         resume: bool = False,
+        dedup: bool | None = None,
         force_pool: bool = False,
         estimator_supplier=None,
     ):
@@ -340,6 +410,7 @@ class ShardedCorpusEstimator:
             self._workers = os.cpu_count() or 1
         self._chunk_size = chunk_size
         self._quarantine = quarantine
+        self._dedup = dedup
         self._chunk_deadline_s = chunk_deadline_s
         self._max_chunk_retries = max_chunk_retries
         self._force_pool = force_pool
@@ -463,9 +534,75 @@ class ShardedCorpusEstimator:
             f"(the engine traverses it twice), got {type(source).__name__}"
         )
 
+    def _dedup_on(self) -> bool:
+        """Resolve the dedup mode for one run (ctor arg, else env)."""
+        if self._dedup is not None:
+            return self._dedup
+        return _dedup_enabled()
+
     def _begin_run(self) -> RunReport:
-        self.last_report = RunReport(workers=self._workers)
+        self.last_report = RunReport(
+            workers=self._workers, dedup=self._dedup_on()
+        )
         return self.last_report
+
+    def _line_table(
+        self, source: CorpusSource, report: RunReport
+    ) -> list[tuple[str, int]]:
+        """First corpus traversal → the line table the run estimates.
+
+        Dedup mode hash-conses every ingredient line into a
+        distinct-line table with multiplicities (Counter preserves
+        first-occurrence order; counting runs at C speed), so all
+        downstream work scales with the distinct set.  The oracle mode
+        keeps one ``(text, 1)`` entry per occurrence in corpus order
+        instead — identical statistics (a weighted observe equals n
+        repeated observes, and first-occurrence key order is the same
+        either way) at full per-occurrence cost.
+        """
+        stream = self._stream(source, report.dead_letters)
+        if report.dedup:
+            counts = Counter(
+                text
+                for recipe in stream
+                for text in recipe.ingredient_texts
+            )
+            report.total_lines = sum(counts.values())
+            report.distinct_lines = len(counts)
+            return list(counts.items())
+        lines = [
+            (text, 1)
+            for recipe in stream
+            for text in recipe.ingredient_texts
+        ]
+        report.total_lines = len(lines)
+        report.distinct_lines = len({text for text, _ in lines})
+        return lines
+
+    @staticmethod
+    def _pull_poisoned(report: RunReport) -> dict[str, tuple[str, str]]:
+        """Lift estimate-source dead letters out for re-numbering.
+
+        Corpus paths renumber estimate-side letters from line-table
+        ordinals to per-occurrence corpus positions; this removes them
+        from the report (ingest letters keep their 1-based file line
+        numbers) and returns ``truncated input -> (reason, detail)``
+        for the assembly pass to expand.  Estimation is deterministic
+        per text, so every occurrence of a poisoned line shares one
+        reason/detail; running the identical procedure in both dedup
+        modes makes the final report byte-identical across them.
+        """
+        poisoned: dict[str, tuple[str, str]] = {}
+        kept = []
+        for letter in report.dead_letters.records:
+            if letter.source == "estimate":
+                poisoned.setdefault(
+                    letter.input, (letter.reason, letter.detail)
+                )
+            else:
+                kept.append(letter)
+        report.dead_letters.replace(kept)
+        return poisoned
 
     # ------------------------------------------------------------------
     # durable runs
@@ -478,7 +615,9 @@ class ShardedCorpusEstimator:
 
         return database_fingerprint(self._food_list())
 
-    def _durable_run(self, source: CorpusSource) -> DurableRun | None:
+    def _durable_run(
+        self, source: CorpusSource, dedup: bool
+    ) -> DurableRun | None:
         """Create (or reopen and verify) this engine's durable run."""
         if self._run_dir is None:
             return None
@@ -496,6 +635,7 @@ class ShardedCorpusEstimator:
                 quarantine=self._quarantine,
                 max_grams=self._spec.max_grams,
                 database_fingerprint=fingerprint,
+                dedup=dedup,
             )
             return run
         database: dict = {
@@ -524,6 +664,7 @@ class ShardedCorpusEstimator:
                 "quarantine": self._quarantine,
                 "max_grams": self._spec.max_grams,
                 "workers": self._workers,
+                "dedup": dedup,
             },
             database=database,
         )
@@ -552,26 +693,36 @@ class ShardedCorpusEstimator:
         by the distinct-line estimate table.
         """
         report = self._begin_run()
-        run = self._durable_run(source)
+        run = self._durable_run(source, report.dedup)
         self._note_run(report, run)
         try:
-            # Distinct-line working set in first-occurrence order
-            # (Counter preserves insertion order; counting runs at C
-            # speed).
-            counts = Counter(
-                text
-                for recipe in self._stream(source, report.dead_letters)
-                for text in recipe.ingredient_texts
-            )
-            estimates = self._estimate_table_into(counts, report, run)
+            lines = self._line_table(source, report)
+            estimates = self._estimate_table_into(lines, report, run)
         finally:
             if run is not None:
                 run.close()
+        # Fan-out: per-distinct estimates expand to per-occurrence
+        # results in corpus order, and estimate-side dead letters are
+        # renumbered to per-occurrence positions in the flattened
+        # ingredient-line stream (same procedure in both dedup modes).
+        poisoned = (
+            self._pull_poisoned(report) if report.dead_letters else {}
+        )
         finish = NutritionEstimator.finish_recipe
+        offset = 0
         for recipe in self._stream(source):
+            texts = recipe.ingredient_texts
+            if poisoned:
+                log = report.dead_letters
+                for j, text in enumerate(texts):
+                    hit = poisoned.get(text[:MAX_INPUT_CHARS])
+                    if hit is not None:
+                        log.add(
+                            "estimate", offset + j, text, hit[0], hit[1]
+                        )
+            offset += len(texts)
             yield finish(
-                [estimates[text] for text in recipe.ingredient_texts],
-                recipe.servings,
+                [estimates[text] for text in texts], recipe.servings
             )
 
     def corpus_diagnostics(self, source: CorpusSource) -> ReasonBreakdown:
@@ -584,20 +735,33 @@ class ShardedCorpusEstimator:
         strategy that resolved or killed it.
         """
         report = self._begin_run()
-        run = self._durable_run(source)
+        run = self._durable_run(source, report.dedup)
         self._note_run(report, run)
         try:
-            counts = Counter(
-                text
-                for recipe in self._stream(source, report.dead_letters)
-                for text in recipe.ingredient_texts
-            )
-            table = self._estimate_table_into(counts, report, run)
+            lines = self._line_table(source, report)
+            table = self._estimate_table_into(lines, report, run)
         finally:
             if run is not None:
                 run.close()
+        poisoned = (
+            self._pull_poisoned(report) if report.dead_letters else {}
+        )
+        if poisoned:
+            # Extra traversal only when something was quarantined: the
+            # letters must carry per-occurrence corpus positions, like
+            # the streaming path's assembly pass produces.
+            log = report.dead_letters
+            offset = 0
+            for recipe in self._stream(source):
+                for j, text in enumerate(recipe.ingredient_texts):
+                    hit = poisoned.get(text[:MAX_INPUT_CHARS])
+                    if hit is not None:
+                        log.add(
+                            "estimate", offset + j, text, hit[0], hit[1]
+                        )
+                offset += len(recipe.ingredient_texts)
         return reason_breakdown_from_lines(
-            (table[text], count) for text, count in counts.items()
+            (table[text], count) for text, count in lines
         )
 
     # ------------------------------------------------------------------
@@ -615,30 +779,49 @@ class ShardedCorpusEstimator:
         service's batch endpoint assembles its own recipes from this.
         Dispatches to the in-process estimator at ``workers=1`` and to
         the supervised pool otherwise; results are bit-identical
-        either way.
+        either way.  In oracle mode (``REPRO_DEDUP=0`` /
+        ``dedup=False``) the multiplicities are expanded back into
+        per-occurrence entries so even this pre-collapsed entry point
+        exercises the undeduped pipeline.
         """
-        return self._estimate_table_into(counts, self._begin_run())
+        report = self._begin_run()
+        report.total_lines = sum(counts.values())
+        report.distinct_lines = len(counts)
+        if report.dedup:
+            lines = list(counts.items())
+        else:
+            lines = [
+                (text, 1)
+                for text, count in counts.items()
+                for _ in range(count)
+            ]
+        return self._estimate_table_into(lines, report)
 
     def _estimate_table_into(
         self,
-        counts: dict[str, int],
+        lines: list[tuple[str, int]],
         report: RunReport,
         run: DurableRun | None = None,
     ) -> dict[str, IngredientEstimate]:
         if run is None and self._workers == 1 and not self._force_pool:
-            return self._run_local(counts, report)
+            return self._run_local(lines, report)
         # A durable run always takes the chunked pool path, even at
         # workers=1: journaling and replay are defined over the chunk
         # plan, and a full replay never spawns a worker anyway.
-        return self._run_pool(counts, report, run)
+        return self._run_pool(lines, report, run)
 
     def _run_local(
-        self, counts: dict[str, int], report: RunReport
+        self, lines: list[tuple[str, int]], report: RunReport
     ) -> dict[str, IngredientEstimate]:
         log = report.dead_letters if self._quarantine else None
-        return self._local_estimator().corpus_estimate_table(
-            counts, quarantine=log, columnar=_columnar_enabled()
+        estimator = self._local_estimator()
+        estimates = estimator.corpus_estimate_table(
+            lines, quarantine=log, columnar=_columnar_enabled()
         )
+        report.stats_digest = snapshot_digest(
+            estimator.fallback.snapshot()
+        )
+        return estimates
 
     def _worker_spec(self) -> EstimatorSpec:
         """The spec shipped to pool workers.
@@ -668,23 +851,26 @@ class ShardedCorpusEstimator:
 
     def _run_pool(
         self,
-        counts: dict[str, int],
+        lines: list[tuple[str, int]],
         report: RunReport,
         run: DurableRun | None = None,
     ) -> dict[str, IngredientEstimate]:
         foods = self._food_list()
         merged_fallback = UnitFallback(self._spec.max_grams)
         estimates: dict[str, IngredientEstimate] = {}
-        chunks = list(_chunked(counts.items(), self._chunk_size))
+        chunks = list(_chunked(lines, self._chunk_size))
         quarantine_on = self._quarantine
         columnar = _columnar_enabled()
         if run is not None:
             run.begin(
                 n_chunks=len(chunks),
-                distinct_lines=len(counts),
+                distinct_lines=len(lines),
                 chunk_size=self._chunk_size,
             )
         if not chunks:
+            # Even an empty run freezes (an empty) unit table; give it
+            # a digest so downstream cache tokens never see None.
+            report.stats_digest = snapshot_digest(UnitFallback().snapshot())
             if run is not None and not run.complete:
                 run.record_complete(
                     {**report.counters(), **report.journal_counters()}
@@ -761,6 +947,7 @@ class ShardedCorpusEstimator:
             # divergence means the corpus or database changed in a way
             # the manifest's sampled prefix could not see.
             snapshot = merged_fallback.snapshot()
+            report.stats_digest = snapshot_digest(snapshot)
             if run is not None:
                 if run.checkpoint is None:
                     run.record_checkpoint(snapshot)
@@ -776,7 +963,10 @@ class ShardedCorpusEstimator:
             # of the phase-1 estimates, so a resume recomputes the
             # identical fallback chunking and can address journaled
             # phase-3 frames by chunk index.
-            ordinals = {text: i for i, text in enumerate(counts)}
+            ordinals: dict[str, int] = {}
+            for i, (text, _) in enumerate(lines):
+                if text not in ordinals:
+                    ordinals[text] = i
             pending = [
                 (ordinals[text], text)
                 for text, estimate in estimates.items()

@@ -175,12 +175,17 @@ class RunManifest:
         quarantine: bool,
         max_grams: float,
         database_fingerprint: str,
+        dedup: bool = True,
     ) -> None:
         """Refuse a resume whose chunking/config diverges."""
         checks = (
             ("chunk_size", self.config.get("chunk_size"), chunk_size),
             ("quarantine", self.config.get("quarantine"), quarantine),
             ("max_grams", self.config.get("max_grams"), max_grams),
+            # Journaled frames address chunks of the line table, whose
+            # very shape depends on duplicate collapse; manifests from
+            # before the key exist only for dedup runs (the default).
+            ("dedup", self.config.get("dedup", True), dedup),
             (
                 "database fingerprint",
                 self.database.get("fingerprint"),

@@ -24,6 +24,7 @@ The service boundary in one module:
 from __future__ import annotations
 
 import json
+from collections.abc import Sequence
 from dataclasses import dataclass
 
 from repro.core.estimator import IngredientEstimate, ParsedIngredient, RecipeEstimate
@@ -360,18 +361,86 @@ def encode_ingredient_estimate(estimate: IngredientEstimate) -> dict:
     }
 
 
-def encode_recipe_estimate(estimate: RecipeEstimate) -> dict:
-    """A recipe-level aggregate (the ``/v1/estimate`` response body)."""
+def _recipe_head(estimate: RecipeEstimate) -> dict:
+    """Recipe-level fields, in response key order, sans ingredients.
+
+    Shared by :func:`encode_recipe_estimate` and the fragment
+    assembler so the two render paths cannot drift.
+    """
     return {
         "servings": estimate.servings,
         "total": dict(estimate.total.values),
         "per_serving": dict(estimate.per_serving.values),
         "fraction_fully_mapped": estimate.fraction_fully_mapped,
         "fraction_name_mapped": estimate.fraction_name_mapped,
-        "ingredients": [
-            encode_ingredient_estimate(item) for item in estimate.ingredients
-        ],
     }
+
+
+def encode_recipe_estimate(estimate: RecipeEstimate) -> dict:
+    """A recipe-level aggregate (the ``/v1/estimate`` response body)."""
+    body = _recipe_head(estimate)
+    body["ingredients"] = [
+        encode_ingredient_estimate(item) for item in estimate.ingredients
+    ]
+    return body
+
+
+# ----------------------------------------------------------------------
+# fragment assembly (serialized-estimate byte cache)
+
+
+def dumps_ingredient_fragment(estimate: IngredientEstimate) -> bytes:
+    """One ingredient estimate as compact JSON bytes.
+
+    The unit the service's fragment cache stores: an estimate is a
+    pure function of (line text, frozen stats table, database), so the
+    rendered bytes can be reused across requests under the same stats
+    token without re-running ``json.dumps``.
+    """
+    return json.dumps(
+        encode_ingredient_estimate(estimate), separators=(",", ":")
+    ).encode("utf-8")
+
+
+def assemble_recipe_estimate_bytes(
+    estimate: RecipeEstimate, fragments: Sequence[bytes]
+) -> bytes:
+    """Splice pre-serialized ingredient fragments into a recipe body.
+
+    Byte-identical to ``dumps_body(encode_recipe_estimate(estimate))``
+    by construction: with ``separators=(",", ":")`` the dump of a
+    composite object is exactly the concatenation of the dumps of its
+    parts, so dropping the head's closing brace and appending the
+    ``ingredients`` array from the cached fragments reproduces the
+    monolithic serialization (``tests/test_fragment_cache.py`` pins
+    the equality).  *fragments* must be the recipe's ingredients in
+    order.
+    """
+    head = json.dumps(
+        _recipe_head(estimate), separators=(",", ":")
+    ).encode("utf-8")
+    return b"".join(
+        (head[:-1], b',"ingredients":[', b",".join(fragments), b"]}")
+    )
+
+
+def assemble_batch_bytes(recipes: Sequence[bytes]) -> bytes:
+    """Splice per-recipe bodies into an ``/v1/estimate_batch`` body.
+
+    Byte-identical to ``dumps_body`` over the dict the endpoint used
+    to build (``{"count": N, "recipes": [...]}``), for the same
+    concatenation argument as
+    :func:`assemble_recipe_estimate_bytes`.
+    """
+    return b"".join(
+        (
+            b'{"count":',
+            str(len(recipes)).encode("ascii"),
+            b',"recipes":[',
+            b",".join(recipes),
+            b"]}",
+        )
+    )
 
 
 def encode_explanation(explanation: LineExplanation) -> dict:
@@ -404,6 +473,13 @@ def encode_explanation(explanation: LineExplanation) -> dict:
     }
 
 
-def dumps_body(body: dict) -> bytes:
-    """Serialize a response body exactly as the server ships it."""
+def dumps_body(body: dict | bytes) -> bytes:
+    """Serialize a response body exactly as the server ships it.
+
+    Bodies that were already assembled from cached fragments (the
+    estimation endpoints return bytes) pass through untouched, so the
+    dispatch path is agnostic to which render path produced them.
+    """
+    if isinstance(body, bytes):
+        return body
     return json.dumps(body, separators=(",", ":")).encode("utf-8")

@@ -39,6 +39,7 @@ from repro.pipeline.engine import (
     RunReport,
     ShardedCorpusEstimator,
     _columnar_enabled,
+    _dedup_enabled,
 )
 from repro.pipeline.errors import PipelineError
 from repro.pipeline.spec import EstimatorSpec
@@ -50,12 +51,20 @@ from repro.service.resilience import (
     CircuitBreaker,
     Deadline,
 )
+from repro.units.fallback import snapshot_digest
 from repro.utils import BoundedCache
 
 log = logging.getLogger("repro.service")
 
 #: Default entry cap for the response cache.
 DEFAULT_RESPONSE_CACHE_CAP = 4096
+
+#: Default entry cap for the serialized-estimate fragment cache.  One
+#: entry is one ingredient line's rendered JSON (typically a few
+#: hundred bytes), keyed by (stats token, line text); real corpora
+#: reuse a small distinct-line vocabulary heavily (Zipf), so a cap in
+#: the tens of thousands covers the working set in a few MB.
+DEFAULT_FRAGMENT_CACHE_CAP = 1 << 15
 
 #: Bodies larger than this are never cached.  Single-recipe responses
 #: are a few KB, but batch responses reach MBs (5000 recipes are
@@ -88,6 +97,11 @@ class ServiceConfig:
         on the in-process estimator.
     cache_cap:
         Entry cap for the response cache (FIFO eviction).
+    fragment_cache_cap:
+        Entry cap for the serialized-estimate fragment cache: rendered
+        per-ingredient JSON bytes keyed by (stats token, line text),
+        reused across requests to skip re-serialization (``repro serve
+        --fragment-cache-cap``).
     spec:
         The estimator configuration the service builds once at
         startup; picklable, so the same spec also parameterizes the
@@ -144,6 +158,7 @@ class ServiceConfig:
     port: int = 8080
     workers: int = 1
     cache_cap: int = DEFAULT_RESPONSE_CACHE_CAP
+    fragment_cache_cap: int = DEFAULT_FRAGMENT_CACHE_CAP
     spec: EstimatorSpec = field(default_factory=EstimatorSpec)
     max_body_bytes: int = 1 << 20
     request_timeout_s: float | None = 30.0
@@ -163,6 +178,10 @@ class ServiceConfig:
             raise ValueError(f"workers must be >= 1: {self.workers}")
         if self.cache_cap < 1:
             raise ValueError(f"cache_cap must be >= 1: {self.cache_cap}")
+        if self.fragment_cache_cap < 1:
+            raise ValueError(
+                f"fragment_cache_cap must be >= 1: {self.fragment_cache_cap}"
+            )
         if not 0 <= self.port <= 65535:
             raise ValueError(f"port out of range: {self.port}")
         if self.max_body_bytes < 1:
@@ -219,6 +238,14 @@ class ServiceState:
         # The warm shared estimator — the service's whole reason to
         # exist.  Built eagerly so the first request is already fast.
         self._estimator = config.spec.build()
+        # Database half of the fragment-cache token, computed once at
+        # startup.  A rendered ingredient fragment is a pure function
+        # of (line text, frozen stats table, database); the token
+        # binds the last two, so an artifact swap (new process, new
+        # fingerprint) can never replay stale bytes.
+        from repro.artifacts import database_fingerprint
+
+        self._db_epoch = database_fingerprint(self._estimator.database)
         # For an artifact-backed spec, pin the engine (and through it
         # every pool worker) to the exact database the warm estimator
         # was built from: if the artifact file is replaced under a
@@ -229,13 +256,8 @@ class ServiceState:
         # per pool spawn, worker-side comparison is a string equality.
         engine_spec = config.spec
         if engine_spec.artifact_path is not None:
-            from repro.artifacts import database_fingerprint
-
             engine_spec = dataclasses.replace(
-                engine_spec,
-                expected_fingerprint=database_fingerprint(
-                    self._estimator.database
-                ),
+                engine_spec, expected_fingerprint=self._db_epoch
             )
         self._engine: ShardedCorpusEstimator | None = (
             ShardedCorpusEstimator(
@@ -278,6 +300,14 @@ class ServiceState:
         self._cache_lock = threading.Lock()
         self._response_cache: BoundedCache[str, bytes] = BoundedCache(
             config.cache_cap
+        )
+        # Serialized-estimate byte cache: (stats token, line text) ->
+        # rendered ingredient JSON.  Own lock — fragment probes happen
+        # inside response assembly and must not contend with whole-
+        # body response-cache traffic.
+        self._fragment_lock = threading.Lock()
+        self._fragment_cache: BoundedCache[tuple[str, str], bytes] = (
+            BoundedCache(config.fragment_cache_cap)
         )
 
     @property
@@ -370,20 +400,40 @@ class ServiceState:
 
     def _local_table(
         self, counts: dict[str, int], deadline: Deadline | None
-    ) -> dict:
+    ) -> tuple[dict, str]:
+        """In-process table plus the run's frozen-stats digest.
+
+        Honors ``REPRO_DEDUP=0`` by feeding the estimator one
+        ``(text, 1)`` item per occurrence instead of the collapsed
+        count table — the oracle the dedup parity tests compare
+        service responses against, byte for byte.
+        """
         self._checkpoint(deadline, "estimation")
+        items: dict | list = counts
+        if not _dedup_enabled():
+            items = [
+                (text, 1)
+                for text, count in counts.items()
+                for _ in range(count)
+            ]
         quarantine = DeadLetterLog()
         with self._estimator_lock:
             table = self._estimator.corpus_estimate_table(
-                counts, quarantine=quarantine, columnar=_columnar_enabled()
+                items, quarantine=quarantine, columnar=_columnar_enabled()
             )
+            digest = snapshot_digest(self._estimator.fallback.snapshot())
         self.note_dead_letters(len(quarantine))
-        return table
+        return table, digest
 
     def _estimate_table(
         self, counts: dict[str, int], deadline: Deadline | None = None
-    ) -> dict:
+    ) -> tuple[dict, str]:
         """Distinct-line table -> final estimates, engine or in-process.
+
+        Returns ``(table, stats_digest)`` — the digest of the run's
+        frozen phase-boundary unit table, identical across the engine
+        and in-process paths (exact-parity guarantee) and consumed as
+        the statistics half of the fragment-cache token.
 
         Both paths run the identical two-phase corpus protocol, so the
         choice is invisible in the response (the engine's exact-parity
@@ -412,6 +462,7 @@ class ServiceState:
                     with self._engine_lock:
                         table = self._engine.estimate_table(counts)
                         report = self._engine.last_report
+                        digest = report.stats_digest or snapshot_digest({})
                 except PipelineError:
                     # The fan-out *machinery* failed (chunk retry
                     # budget exhausted, pool unusable) — a transient
@@ -431,32 +482,75 @@ class ServiceState:
                 else:
                     self.breaker.record_success()
                     self.absorb_report(report)
-                    return table
+                    return table, digest
             else:
                 self.note_degraded_batch()
         return self._local_table(counts, deadline)
+
+    def _fragment_bytes(self, token: str, text: str, estimate) -> bytes:
+        """Rendered JSON for one ingredient estimate, cached by token.
+
+        The cache key binds the line text to the (database, frozen
+        stats table) pair the estimate was computed under; under the
+        same token a line's estimate — and therefore its bytes — is
+        identical by the protocol's purity guarantee, so a hit skips
+        ``json.dumps`` entirely.
+        """
+        key = (token, text)
+        with self._fragment_lock:
+            cached = self._fragment_cache.get(key)
+        if cached is not None:
+            return cached
+        rendered = codec.dumps_ingredient_fragment(estimate)
+        with self._fragment_lock:
+            self._fragment_cache[key] = rendered
+        return rendered
+
+    def _render_recipe(
+        self, texts: list[str], servings: float, table: dict, token: str
+    ) -> bytes:
+        """One recipe's response body, assembled from cached fragments.
+
+        Byte-identical to serializing the monolithic dict (pinned by
+        ``tests/test_fragment_cache.py``); the recipe head is always
+        rendered fresh — aggregates vary per recipe — while the
+        per-ingredient bodies come from the fragment cache.
+        """
+        recipe = NutritionEstimator.finish_recipe(
+            [table[text] for text in texts], servings
+        )
+        return codec.assemble_recipe_estimate_bytes(
+            recipe,
+            [self._fragment_bytes(token, text, table[text]) for text in texts],
+        )
 
     def estimate(
         self,
         request: codec.EstimateRequest,
         deadline: Deadline | None = None,
-    ) -> dict:
-        """``/v1/estimate``: one recipe, always on the warm estimator."""
+    ) -> bytes:
+        """``/v1/estimate``: one recipe, always on the warm estimator.
+
+        Returns the serialized response body, assembled from the
+        fragment cache.
+        """
         counts = dict(Counter(request.ingredients))
-        table = self._local_table(counts, deadline)
+        table, digest = self._local_table(counts, deadline)
         self.metrics.observe_reasons(
             table[text].reason for text in request.ingredients
         )
-        recipe = NutritionEstimator.finish_recipe(
-            [table[text] for text in request.ingredients], request.servings
+        return self._render_recipe(
+            request.ingredients,
+            request.servings,
+            table,
+            f"{self._db_epoch}:{digest}",
         )
-        return codec.encode_recipe_estimate(recipe)
 
     def estimate_batch(
         self,
         request: codec.BatchRequest,
         deadline: Deadline | None = None,
-    ) -> dict:
+    ) -> bytes:
         """``/v1/estimate_batch``: many recipes as one corpus.
 
         Corpus-level unit statistics (§II-C) are computed over the
@@ -464,6 +558,9 @@ class ServiceState:
         over the same recipes.  With ``workers > 1`` and enough
         distinct lines the table fans out through the sharded engine
         (wire codec and all); results are bit-identical either way.
+        Returns the serialized response body: per-ingredient JSON
+        comes from the fragment cache (batches repeat lines heavily,
+        so most of the body is assembled, not re-serialized).
         """
         counts = dict(
             Counter(
@@ -472,7 +569,7 @@ class ServiceState:
                 for text in recipe.ingredients
             )
         )
-        table = self._estimate_table(counts, deadline)
+        table, digest = self._estimate_table(counts, deadline)
         if deadline is not None:
             deadline.check("response assembly")
         self.metrics.observe_reasons(
@@ -480,19 +577,15 @@ class ServiceState:
             for recipe in request.recipes
             for text in recipe.ingredients
         )
-        finish = NutritionEstimator.finish_recipe
-        return {
-            "count": len(request.recipes),
-            "recipes": [
-                codec.encode_recipe_estimate(
-                    finish(
-                        [table[text] for text in recipe.ingredients],
-                        recipe.servings,
-                    )
+        token = f"{self._db_epoch}:{digest}"
+        return codec.assemble_batch_bytes(
+            [
+                self._render_recipe(
+                    recipe.ingredients, recipe.servings, table, token
                 )
                 for recipe in request.recipes
-            ],
-        }
+            ]
+        )
 
     def match(self, request: codec.MatchRequest) -> dict:
         """``/v1/match``: closest USDA-SR description for a name."""
@@ -595,9 +688,29 @@ class ServiceState:
             "breaker": self.breaker.state,
         }
 
+    def caches_snapshot(self) -> dict:
+        """Hit/miss/eviction stats for every BoundedCache tier.
+
+        The parse and matcher memos live inside the estimator; their
+        counters are plain ints bumped under the estimator lock, and
+        reading ints/lens is atomic, so the snapshot skips that lock —
+        ``/metrics`` must answer even while a big batch holds it.
+        """
+        with self._cache_lock:
+            response = self._response_cache.stats()
+        with self._fragment_lock:
+            fragment = self._fragment_cache.stats()
+        return {
+            "parse": self._estimator.parse_cache_stats(),
+            "matcher": self._estimator.matcher.cache_stats(),
+            "response": response,
+            "fragment": fragment,
+        }
+
     def metrics_snapshot(self) -> dict:
         body = self.metrics.snapshot()
         body["response_cache"] = self.cache_info()
+        body["caches"] = self.caches_snapshot()
         body["workers"] = self.config.workers
         # Which process answered: with --procs N each worker serves
         # its own counters, so scrapers must aggregate by worker_id

@@ -15,6 +15,8 @@ garbled one:
 
 from __future__ import annotations
 
+import hashlib
+import json
 from collections import Counter, defaultdict
 from functools import lru_cache
 
@@ -150,3 +152,19 @@ class UnitFallback:
     def unit_distribution(self, ingredient: str) -> dict[str, int]:
         """Unit -> count for *ingredient* (empty dict if unseen)."""
         return dict(self._counts.get(ingredient.lower(), {}))
+
+
+def snapshot_digest(snapshot: dict[str, dict[str, int]]) -> str:
+    """Content identity of a frozen observation table.
+
+    Serialized *without* key sorting: insertion order decides
+    ``most_common`` tie-breaks, so two tables with equal counts but
+    different key order can answer ``most_frequent_unit`` differently
+    and must digest differently.  Used as the statistics component of
+    the service tier's fragment-cache token — estimates are a pure
+    function of (line text, frozen table, database artifact), so equal
+    digests under the same artifact mean byte-equal serialized
+    estimates.
+    """
+    payload = json.dumps(snapshot, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()

@@ -23,6 +23,9 @@ from typing import TypeVar
 K = TypeVar("K")
 V = TypeVar("V")
 
+#: Internal sentinel distinguishing "absent" from a cached ``None``.
+_MISSING = object()
+
 #: Default entry cap for per-instance memo caches.  Generous enough
 #: that realistic corpora never evict (RecipeDB has ~23k distinct
 #: ingredient phrases), small enough to bound a service that sees
@@ -37,7 +40,14 @@ class BoundedCache(dict[K, V]):
     insertion order).  FIFO rather than LRU on purpose: these caches
     memoize pure functions, so an eviction only costs a recompute, and
     FIFO needs no bookkeeping on the hit path — ``get`` stays a plain
-    dict lookup.
+    dict lookup plus one integer increment.
+
+    Effectiveness counters (hits / misses / evictions) are maintained
+    on the ``get`` path and surfaced by :meth:`stats`; the service tier
+    exposes them per cache in the ``/metrics`` ``caches`` section.
+    Callers that cache ``None`` values must probe through ``get`` with
+    a private sentinel default rather than ``in`` + ``[]`` (which would
+    bypass the counters).
     """
 
     def __init__(self, cap: int = DEFAULT_CACHE_CAP):
@@ -45,15 +55,40 @@ class BoundedCache(dict[K, V]):
             raise ValueError(f"cache cap must be positive: {cap}")
         super().__init__()
         self._cap = cap
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
 
     @property
     def cap(self) -> int:
         return self._cap
 
+    def get(self, key: K, default: V | None = None) -> V | None:  # type: ignore[override]
+        value = dict.get(self, key, _MISSING)
+        if value is _MISSING:
+            self._misses += 1
+            return default
+        self._hits += 1
+        return value  # type: ignore[return-value]
+
     def __setitem__(self, key: K, value: V) -> None:
-        if key not in self and len(self) >= self._cap:
+        if not dict.__contains__(self, key) and len(self) >= self._cap:
             del self[next(iter(self))]
+            self._evictions += 1
         super().__setitem__(key, value)
+
+    def stats(self) -> dict[str, int | float]:
+        """Effectiveness snapshot: size, cap, hits, misses, evictions,
+        and the derived hit rate (0.0 when the cache was never probed)."""
+        probes = self._hits + self._misses
+        return {
+            "size": len(self),
+            "cap": self._cap,
+            "hits": self._hits,
+            "misses": self._misses,
+            "evictions": self._evictions,
+            "hit_rate": (self._hits / probes) if probes else 0.0,
+        }
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,367 @@
+"""Differential harness: duplicate collapse vs per-occurrence oracle.
+
+Coordinator-side duplicate collapse (ISSUE 10) hash-conses the
+corpus's ingredient lines into a distinct-line table with
+multiplicities before sharding, estimates each distinct line once,
+and fans the results back out per occurrence.  The promise is
+**bit-identical** output to the retained per-occurrence oracle
+(``REPRO_DEDUP=0`` at the engine, or ``dedup=False`` at the ctor),
+which feeds every occurrence through estimation individually:
+
+* weighted ``observe(name, unit, count=n)`` equals ``n`` independent
+  observes — counts *and* first-seen insertion order, so every
+  ``most_common`` tie-break lands identically (the Hypothesis
+  properties below pin this algebraically, across arbitrary shard
+  merge orders);
+* dead letters for a poisoned distinct line are re-expanded to one
+  record per occurrence with corpus-order line numbers, identically
+  in both modes;
+* durable runs journal the collapsed table, and a crashed deduped
+  run resumed with ``--resume`` byte-matches a clean undeduped run's
+  report;
+* the service tier's responses are byte-identical with the flag
+  flipped (the fragment cache serves the same bytes either way).
+
+Every engine comparison is plain dataclass equality over
+``RecipeEstimate``/``IngredientEstimate``, which covers parsed
+tokens, match, resolution, grams, profile, reason and trace.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.resolution import REASON_ESTIMATOR_ERROR
+from repro.pipeline import ShardedCorpusEstimator
+from repro.recipedb.corpus import save_recipes_jsonl
+from repro.recipedb.generator import GeneratorConfig, RecipeGenerator
+from repro.runs import RunManifest, RunMismatchError
+from repro.units.fallback import UnitFallback, snapshot_digest
+
+N_RECIPES = 24
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    """A duplicate-heavy corpus: every recipe appears twice."""
+    recipes = RecipeGenerator(config=GeneratorConfig(seed=5)).generate(
+        N_RECIPES
+    )
+    return recipes + recipes
+
+
+@pytest.fixture(scope="module")
+def oracle_estimates(corpus):
+    """The retained per-occurrence oracle, single worker."""
+    return ShardedCorpusEstimator(workers=1, dedup=False).estimate_corpus(
+        list(corpus)
+    )
+
+
+class TestEngineDifferential:
+    @pytest.mark.parametrize("workers", [1, 2])
+    @pytest.mark.parametrize("chunk_size", [7, 64, 4096])
+    def test_dedup_matches_oracle(
+        self, corpus, oracle_estimates, workers, chunk_size
+    ):
+        with ShardedCorpusEstimator(
+            workers=workers, chunk_size=chunk_size, dedup=True
+        ) as engine:
+            assert engine.estimate_corpus(list(corpus)) == oracle_estimates
+
+    @pytest.mark.parametrize("quarantine", [False, True])
+    def test_env_toggle_pins_each_mode(
+        self, monkeypatch, corpus, oracle_estimates, quarantine
+    ):
+        monkeypatch.setenv("REPRO_DEDUP", "0")
+        engine = ShardedCorpusEstimator(workers=1, quarantine=quarantine)
+        assert engine.estimate_corpus(list(corpus)) == oracle_estimates
+        assert not engine.last_report.dedup
+        monkeypatch.setenv("REPRO_DEDUP", "1")
+        engine = ShardedCorpusEstimator(workers=1, quarantine=quarantine)
+        assert engine.estimate_corpus(list(corpus)) == oracle_estimates
+        assert engine.last_report.dedup
+
+    def test_report_counts_occurrences_and_distincts(self, corpus):
+        engine = ShardedCorpusEstimator(workers=1)
+        engine.estimate_corpus(list(corpus))
+        report = engine.last_report
+        total = sum(len(r.ingredient_texts) for r in corpus)
+        distinct = len(
+            {t for r in corpus for t in r.ingredient_texts}
+        )
+        assert report.total_lines == total
+        assert report.distinct_lines == distinct
+        # Doubled corpus: every line occurs at least twice.
+        assert report.dedup_ratio >= 2.0
+        counters = report.dedup_counters()
+        assert counters["total_lines"] == total
+        assert counters["distinct_lines"] == distinct
+        assert counters["dedup"] is True
+
+    def test_stats_digest_identical_across_modes(self, corpus):
+        digests = set()
+        for dedup, workers in [(True, 1), (True, 2), (False, 1), (False, 2)]:
+            with ShardedCorpusEstimator(
+                workers=workers, chunk_size=32, dedup=dedup
+            ) as engine:
+                engine.estimate_corpus(list(corpus))
+                digests.add(engine.last_report.stats_digest)
+        assert len(digests) == 1
+        assert None not in digests
+
+
+class TestDeadLetterExpansion:
+    """A poisoned distinct line dead-letters every occurrence."""
+
+    @pytest.fixture(scope="class")
+    def poisoned_text(self, corpus):
+        repeated = Counter(
+            t for r in corpus for t in r.ingredient_texts
+        )
+        # The longest line occurring 2+ times: unique enough to select
+        # by substring, repeated enough to exercise the expansion.
+        return max(
+            (t for t, n in repeated.items() if n >= 2), key=len
+        )
+
+    @pytest.mark.parametrize("dedup", [True, False])
+    def test_one_letter_per_occurrence_in_corpus_order(
+        self, monkeypatch, corpus, poisoned_text, dedup
+    ):
+        monkeypatch.setenv(
+            "REPRO_FAULTS", f"raise@estimate-line:{poisoned_text}"
+        )
+        engine = ShardedCorpusEstimator(
+            workers=1, quarantine=True, dedup=dedup
+        )
+        estimates = engine.estimate_corpus(list(corpus))
+        letters = engine.last_report.dead_letters.records
+        flat = [t for r in corpus for t in r.ingredient_texts]
+        expected_line_nos = [
+            i for i, t in enumerate(flat) if t == poisoned_text
+        ]
+        assert len(expected_line_nos) >= 2
+        assert [letter.line_no for letter in letters] == expected_line_nos
+        assert all(letter.source == "estimate" for letter in letters)
+        assert all(
+            letter.reason == REASON_ESTIMATOR_ERROR for letter in letters
+        )
+        # The poisoned placeholders surface in every affected recipe.
+        for recipe, estimate in zip(corpus, estimates):
+            for text, item in zip(recipe.ingredient_texts, (
+                estimate.ingredients
+            )):
+                if text == poisoned_text:
+                    assert item.reason == REASON_ESTIMATOR_ERROR
+
+    def test_expansion_is_mode_invariant(
+        self, monkeypatch, corpus, poisoned_text
+    ):
+        monkeypatch.setenv(
+            "REPRO_FAULTS", f"raise@estimate-line:{poisoned_text}"
+        )
+        records = []
+        for dedup in (True, False):
+            engine = ShardedCorpusEstimator(
+                workers=1, quarantine=True, dedup=dedup
+            )
+            engine.estimate_corpus(list(corpus))
+            records.append(engine.last_report.dead_letters.records)
+        assert records[0] == records[1]
+
+
+class TestDurableDedup:
+    @pytest.fixture(scope="class")
+    def corpus_path(self, tmp_path_factory, corpus):
+        path = tmp_path_factory.mktemp("dedup-durable") / "corpus.jsonl"
+        save_recipes_jsonl(list(corpus), path)
+        return path
+
+    def test_manifest_records_dedup(self, tmp_path, corpus_path):
+        for dedup in (True, False):
+            run_dir = tmp_path / f"run-{dedup}"
+            with ShardedCorpusEstimator(
+                workers=2, chunk_size=24, run_dir=run_dir, dedup=dedup
+            ) as engine:
+                engine.estimate_corpus(str(corpus_path))
+            assert RunManifest.load(run_dir).config["dedup"] is dedup
+
+    def test_resume_refuses_flipped_dedup(self, tmp_path, corpus_path):
+        run_dir = tmp_path / "run"
+        with ShardedCorpusEstimator(
+            workers=1, chunk_size=24, run_dir=run_dir, dedup=True
+        ) as engine:
+            engine.estimate_corpus(str(corpus_path))
+        manifest = RunManifest.load(run_dir)
+        manifest.status = "running"
+        manifest.save(run_dir)
+        with pytest.raises(RunMismatchError, match="dedup"):
+            ShardedCorpusEstimator(
+                workers=1,
+                chunk_size=24,
+                run_dir=run_dir,
+                resume=True,
+                dedup=False,
+            ).estimate_corpus(str(corpus_path))
+
+    def test_crashed_dedup_resume_matches_clean_oracle_run(
+        self, tmp_path, corpus_path, oracle_estimates
+    ):
+        """Crash a deduped durable run mid-journal, resume it, and
+        byte-compare against a clean undeduped run: estimates equal
+        the oracle and the dead-letter reports are byte-identical."""
+        from repro.deadletter import REPORT_NAME, write_report_jsonl
+        from repro.runs import RunJournal
+
+        run_dir = tmp_path / "run"
+        with ShardedCorpusEstimator(
+            workers=2, chunk_size=24, run_dir=run_dir, dedup=True
+        ) as engine:
+            full = engine.estimate_corpus(str(corpus_path))
+            report = engine.last_report
+        assert full == oracle_estimates
+        write_report_jsonl(
+            run_dir / REPORT_NAME, report.dead_letters, report.run_id
+        )
+        # Cut the journal mid-run (after the plan and two frames) —
+        # the on-disk state a SIGKILL leaves — and resume.
+        records = RunJournal(run_dir / "journal.bin").scan().records
+        assert len(records) >= 4
+        with (run_dir / "journal.bin").open("r+b") as handle:
+            handle.truncate(records[3].offset)
+        manifest = RunManifest.load(run_dir)
+        manifest.status = "running"
+        manifest.save(run_dir)
+        with ShardedCorpusEstimator(
+            workers=2, chunk_size=24, run_dir=run_dir, resume=True
+        ) as engine:
+            resumed = engine.estimate_corpus(str(corpus_path))
+            resumed_report = engine.last_report
+        assert resumed == oracle_estimates
+        assert resumed_report.resumed
+
+        # Byte-compare the resumed deduped report against a clean
+        # undeduped run's report (run ids normalized: they are the
+        # only legitimately differing bytes).
+        clean_dir = tmp_path / "clean-oracle"
+        with ShardedCorpusEstimator(
+            workers=2, chunk_size=24, run_dir=clean_dir, dedup=False
+        ) as engine:
+            engine.estimate_corpus(str(corpus_path))
+            clean_report = engine.last_report
+        write_report_jsonl(
+            run_dir / REPORT_NAME, resumed_report.dead_letters, "run"
+        )
+        write_report_jsonl(
+            clean_dir / REPORT_NAME, clean_report.dead_letters, "run"
+        )
+        assert (run_dir / REPORT_NAME).read_bytes() == (
+            clean_dir / REPORT_NAME
+        ).read_bytes()
+
+
+class TestServiceByteParity:
+    def test_responses_byte_identical_with_dedup_flipped(
+        self, monkeypatch, corpus
+    ):
+        from repro.service import codec
+        from repro.service.state import ServiceConfig, ServiceState
+
+        state = ServiceState(ServiceConfig(port=0))
+        request = codec.BatchRequest(
+            recipes=tuple(
+                codec.EstimateRequest(
+                    ingredients=tuple(r.ingredient_texts),
+                    servings=r.servings,
+                )
+                for r in corpus[:8]
+            )
+        )
+        single = codec.EstimateRequest(
+            ingredients=tuple(corpus[0].ingredient_texts) * 2, servings=2
+        )
+        monkeypatch.setenv("REPRO_DEDUP", "1")
+        deduped = (state.estimate_batch(request), state.estimate(single))
+        monkeypatch.setenv("REPRO_DEDUP", "0")
+        oracle = (state.estimate_batch(request), state.estimate(single))
+        assert deduped == oracle
+
+
+class TestWeightedObserveProperties:
+    """S3: the multiplicity algebra behind duplicate collapse."""
+
+    lines = st.lists(
+        st.tuples(
+            st.sampled_from(["flour", "sugar", "salt", "milk", "egg"]),
+            st.sampled_from(["cup", "tsp", "tbsp", "g", "oz"]),
+            st.integers(min_value=1, max_value=9),
+        ),
+        min_size=0,
+        max_size=24,
+    )
+
+    @given(lines)
+    @settings(max_examples=60, deadline=None)
+    def test_weighted_observe_equals_n_independent_observes(self, items):
+        weighted = UnitFallback()
+        repeated = UnitFallback()
+        for name, unit, count in items:
+            weighted.observe(name, unit, count)
+            for _ in range(count):
+                repeated.observe(name, unit)
+        assert weighted.snapshot() == repeated.snapshot()
+        assert snapshot_digest(weighted.snapshot()) == snapshot_digest(
+            repeated.snapshot()
+        )
+        for name, _, _ in items:
+            assert weighted.most_frequent_unit(
+                name
+            ) == repeated.most_frequent_unit(name)
+
+    @given(lines, st.randoms(use_true_random=False))
+    @settings(max_examples=60, deadline=None)
+    def test_sharded_merge_is_order_independent(self, items, rng):
+        """Shard the observations, merge snapshots in a shuffled
+        order: identical to the unsharded table as long as shard
+        *construction* order is fixed (the engine merges snapshots in
+        shard order for exactly this reason) — and counts are equal
+        under any merge order."""
+        whole = UnitFallback()
+        for name, unit, count in items:
+            whole.observe(name, unit, count)
+        shards = [UnitFallback() for _ in range(3)]
+        for i, (name, unit, count) in enumerate(items):
+            shards[i % 3].observe(name, unit, count)
+        snapshots = [s.snapshot() for s in shards]
+        rng.shuffle(snapshots)
+        merged = UnitFallback()
+        for snapshot in snapshots:
+            merged.merge(snapshot)
+        # Counts are permutation-invariant even if key order is not.
+        assert {
+            name: dict(sorted(units.items()))
+            for name, units in merged.snapshot().items()
+        } == {
+            name: dict(sorted(units.items()))
+            for name, units in whole.snapshot().items()
+        }
+
+    @given(lines)
+    @settings(max_examples=60, deadline=None)
+    def test_digest_is_insertion_order_sensitive(self, items):
+        """The digest deliberately refuses sort_keys: first-seen order
+        is part of the table's identity (it breaks most_common ties),
+        so two tables with equal counts but different insertion order
+        must not share a token."""
+        table = UnitFallback()
+        for name, unit, count in items:
+            table.observe(name, unit, count)
+        snapshot = table.snapshot()
+        assert snapshot_digest(snapshot) == snapshot_digest(
+            json.loads(json.dumps(snapshot))
+        )

@@ -133,8 +133,10 @@ class TestCacheKey:
 class TestStateEndpoints:
     def test_estimate_matches_in_process_corpus_protocol(self, state):
         texts = ["2 cups white sugar", "1 tsp salt", "2 cups white sugar"]
-        body = state.estimate(
-            codec.EstimateRequest(ingredients=tuple(texts), servings=3)
+        body = json.loads(
+            state.estimate(
+                codec.EstimateRequest(ingredients=tuple(texts), servings=3)
+            )
         )
         reference = NutritionEstimator()
         table = reference.corpus_estimate_table(
@@ -163,14 +165,16 @@ class TestStateEndpoints:
 
     def test_batch_equals_estimate_corpus(self, state, small_corpus):
         recipes = small_corpus[:6]
-        body = state.estimate_batch(
-            codec.BatchRequest(
-                recipes=tuple(
-                    codec.EstimateRequest(
-                        ingredients=tuple(r.ingredient_texts),
-                        servings=r.servings,
+        body = json.loads(
+            state.estimate_batch(
+                codec.BatchRequest(
+                    recipes=tuple(
+                        codec.EstimateRequest(
+                            ingredients=tuple(r.ingredient_texts),
+                            servings=r.servings,
+                        )
+                        for r in recipes
                     )
-                    for r in recipes
                 )
             )
         )

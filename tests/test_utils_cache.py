@@ -34,6 +34,34 @@ class TestBoundedCache:
         with pytest.raises(ValueError):
             BoundedCache(cap=0)
 
+    def test_stats_count_hits_misses_evictions(self):
+        cache = BoundedCache(cap=2)
+        assert cache.stats() == {
+            "size": 0, "cap": 2, "hits": 0, "misses": 0,
+            "evictions": 0, "hit_rate": 0.0,
+        }
+        cache["a"] = 1
+        assert cache.get("a") == 1
+        assert cache.get("b") is None
+        for key in "bc":
+            cache[key] = key  # second insert evicts "a"
+        stats = cache.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["evictions"] == 1
+        assert stats["size"] == 2
+        assert stats["hit_rate"] == 0.5
+
+    def test_stats_count_cached_none_via_sentinel(self):
+        """A cached None must not be counted as a miss on re-probe
+        (the matcher caches unmatched results as None)."""
+        sentinel = object()
+        cache = BoundedCache(cap=2)
+        cache["a"] = None
+        assert cache.get("a", sentinel) is None
+        assert cache.stats()["hits"] == 1
+        assert cache.stats()["misses"] == 0
+
 
 class TestCapsAreWired:
     def test_estimator_caches_respect_cap(self):
